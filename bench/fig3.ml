@@ -1,0 +1,56 @@
+(* Figure 3: average cost of locating an entry d blocks away, without
+   caching — entrymap log entries examined, analytic curves for all N plus
+   measured values on real volumes. *)
+
+let analytic () =
+  Util.subsection "Figure 3 (analytic): entrymap entries examined vs distance";
+  let fanouts = [ 4; 8; 16; 32; 64; 128 ] in
+  let distances = [ 10; 100; 1_000; 10_000; 100_000; 1_000_000; 10_000_000 ] in
+  let columns = "d (blocks)" :: List.map (fun n -> Printf.sprintf "N=%d" n) fanouts in
+  let rows =
+    List.map
+      (fun d ->
+        string_of_int d
+        :: List.map
+             (fun n ->
+               Printf.sprintf "%.1f"
+                 (Clio.Analysis.locate_examinations_avg ~fanout:n ~distance:(float_of_int d)))
+             fanouts)
+      distances
+  in
+  Util.table ~columns rows;
+  print_endline
+    "  (paper: little benefit beyond N=16..32, even for entries 10^7 blocks away)"
+
+let measured () =
+  Util.subsection "Figure 3 (measured): cold-cache locate on real volumes";
+  let distances = [ 10; 100; 1_000; 10_000; 50_000 ] in
+  let columns =
+    [ "N"; "d requested"; "d actual"; "entrymap examined"; "predicted (2k-1)"; "blocks read" ]
+  in
+  let rows = ref [] in
+  List.iter
+    (fun fanout ->
+      let p = Util.build_planted ~fanout ~block_size:256 ~distances () in
+      List.iter
+        (fun (d_req, d_act, log) ->
+          Util.drop_caches p.Util.f.Util.srv;
+          let examined, blocks, _ = Util.measure_locate p log in
+          rows :=
+            [
+              string_of_int fanout;
+              string_of_int d_req;
+              string_of_int d_act;
+              string_of_int examined;
+              string_of_int (Clio.Analysis.locate_examinations ~fanout ~distance:d_act);
+              string_of_int blocks;
+            ]
+            :: !rows)
+        p.Util.targets)
+    [ 4; 16; 64 ];
+  Util.table ~columns (List.rev !rows)
+
+let run () =
+  Util.section "FIGURE 3 - cost of locating an entry d blocks away (no caching)";
+  analytic ();
+  measured ()

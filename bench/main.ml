@@ -1,0 +1,53 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation (section 3), plus the ablations listed in DESIGN.md.
+
+     dune exec bench/main.exe             run everything
+     dune exec bench/main.exe -- table1   run one section
+
+   Section names: fig3 table1 write fig4 space coldread
+                  ablate-n ablate-force ablate-locate ablate-fs ablate-sublog
+                  ablations (all five) *)
+
+let sections : (string * (unit -> unit)) list =
+  [
+    ("fig3", Fig3.run);
+    ("table1", Table1.run);
+    ("write", Write_bench.run);
+    ("fig4", Fig4.run);
+    ("space", Space.run);
+    ("coldread", Coldread.run);
+    ("ablate-n", Ablations.ablate_n);
+    ("ablate-force", Ablations.ablate_force);
+    ("ablate-locate", Ablations.ablate_locate);
+    ("ablate-fs", Ablations.ablate_fs);
+    ("ablate-sublog", Ablations.ablate_sublog);
+    ("ablate-swallow", Ablations.ablate_swallow);
+    ("amortize", Ablations.ablate_amortize);
+    ("ablate-heads", Ablations.ablate_heads);
+    ("cache-econ", History_bench.cache_economics);
+    ("delay", History_bench.delayed_write);
+  ]
+
+let usage () =
+  prerr_endline "usage: main.exe [section ...]";
+  prerr_endline ("sections: all " ^ String.concat " " (List.map fst sections) ^ " ablations");
+  exit 2
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let args = if args = [] then [ "all" ] else args in
+  print_endline "Clio benchmark harness - reproduces the evaluation of";
+  print_endline "\"Log Files: An Extended File Service Exploiting Write-Once Storage\" (SOSP 1987)";
+  List.iter
+    (fun arg ->
+      match arg with
+      | "all" -> List.iter (fun (_, f) -> f ()) sections
+      | "ablations" -> Ablations.run ()
+      | name -> (
+        match List.assoc_opt name sections with
+        | Some f -> f ()
+        | None ->
+          Printf.eprintf "unknown section %S\n" name;
+          usage ()))
+    args;
+  print_newline ()

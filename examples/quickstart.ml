@@ -1,0 +1,63 @@
+(* Quickstart: create a log server on an in-memory write-once device, make a
+   couple of log files, append, read forwards/backwards and by time.
+
+     dune exec examples/quickstart.exe *)
+
+let ok = function Ok v -> v | Error e -> failwith (Clio.Errors.to_string e)
+
+let () =
+  (* A log server needs a clock and a volume allocator; volumes are handed
+     out on demand as previous ones fill (section 2.1's volume sequences).
+     Here each volume is a 4096-block in-memory WORM device. *)
+  let clock = Sim.Clock.simulated () in
+  let alloc ~vol_index:_ = Ok (Worm.Mem_device.io (Worm.Mem_device.create ~capacity:4096 ())) in
+  let nvram = Worm.Nvram.create () in
+  let srv = ok (Clio.Server.create ~clock ~nvram ~alloc_volume:alloc ()) in
+
+  (* Log files live in a directory-like hierarchy; a sublog's entries also
+     belong to its ancestors. *)
+  let mail = ok (Clio.Server.create_log srv "/mail") in
+  let smith = ok (Clio.Server.create_log srv "/mail/smith") in
+  let jones = ok (Clio.Server.create_log srv "/mail/jones") in
+
+  (* Appends return the server timestamp, which uniquely identifies the
+     entry forever. [force] gives transaction-commit durability. *)
+  let t1 = ok (Clio.Server.append srv ~log:smith "first message for smith") in
+  ignore (ok (Clio.Server.append srv ~log:jones "a message for jones"));
+  ignore (ok (Clio.Server.append srv ~log:smith ~force:true "second message for smith"));
+  Printf.printf "appended; first entry's timestamp = %Ld\n" (Option.get t1);
+
+  (* Read one log file forward... *)
+  print_endline "\nsmith's log:";
+  ignore
+    (ok
+       (Clio.Server.fold_entries srv ~log:smith ~init:() (fun () e ->
+            Printf.printf "  %Ld: %s\n" (Option.get e.Clio.Reader.timestamp) e.Clio.Reader.payload)));
+
+  (* ...the parent log interleaves all children in arrival order... *)
+  print_endline "\neverything under /mail:";
+  ignore
+    (ok
+       (Clio.Server.fold_entries srv ~log:mail ~init:() (fun () e ->
+            Printf.printf "  (%s) %s\n" (Clio.Server.path_of srv e.Clio.Reader.log)
+              e.Clio.Reader.payload)));
+
+  (* ...and cursors run backwards too ("prior to any previous point in
+     time", section 2). *)
+  print_endline "\nnewest first:";
+  let c = ok (Clio.Server.cursor_end srv ~log:mail) in
+  let rec back () =
+    match ok (Clio.Server.prev c) with
+    | Some e ->
+      Printf.printf "  %s\n" e.Clio.Reader.payload;
+      back ()
+    | None -> ()
+  in
+  back ();
+
+  (* Time search: first entry at or after a timestamp. *)
+  let e = Option.get (ok (Clio.Server.entry_at_or_after srv ~log:smith (Option.get t1))) in
+  Printf.printf "\ntime search at %Ld finds: %s\n" (Option.get t1) e.Clio.Reader.payload;
+
+  Printf.printf "\nserver stats:\n%s\n"
+    (Format.asprintf "%a" Clio.Stats.pp (Clio.Server.stats srv))

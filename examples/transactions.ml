@@ -1,0 +1,73 @@
+(* Atomic update using log files for recovery — the extension the paper's
+   conclusion announces. A bank whose only durable state is a redo log:
+   transfers are all-or-nothing, commits are forced writes, and recovery is
+   replay.
+
+     dune exec examples/transactions.exe *)
+
+let ok = function Ok v -> v | Error e -> failwith (Clio.Errors.to_string e)
+let balance store k = int_of_string (Option.get (History.Atomic.get store k))
+
+let () =
+  let clock = Sim.Clock.simulated () in
+  let devices = ref [] in
+  let alloc ~vol_index:_ =
+    let d = Worm.Mem_device.create ~capacity:4096 () in
+    devices := !devices @ [ d ];
+    Ok (Worm.Mem_device.io d)
+  in
+  let nvram = Worm.Nvram.create () in
+  let srv = ok (Clio.Server.create ~clock ~nvram ~alloc_volume:alloc ()) in
+  let bank = ok (History.Atomic.create srv ~path:"/bank") in
+
+  (* Seed the accounts in one transaction. *)
+  let t = History.Atomic.begin_txn bank in
+  History.Atomic.put t ~key:"alice" "1000";
+  History.Atomic.put t ~key:"bob" "1000";
+  ignore (ok (History.Atomic.commit t));
+  Printf.printf "opened accounts: alice=%d bob=%d\n" (balance bank "alice") (balance bank "bob");
+
+  (* A transfer is one transaction: debit + credit commit together or not
+     at all. The commit is a single forced log entry. *)
+  let transfer from_ to_ amount =
+    let t = History.Atomic.begin_txn bank in
+    let f = int_of_string (Option.get (History.Atomic.find t from_)) in
+    let g = int_of_string (Option.get (History.Atomic.find t to_)) in
+    if f < amount then begin
+      History.Atomic.abort t;
+      Printf.printf "  transfer %s->%s %d REFUSED (insufficient funds)\n" from_ to_ amount
+    end
+    else begin
+      History.Atomic.put t ~key:from_ (string_of_int (f - amount));
+      History.Atomic.put t ~key:to_ (string_of_int (g + amount));
+      let ts = ok (History.Atomic.commit t) in
+      Printf.printf "  transfer %s->%s %d committed at t=%Ld\n" from_ to_ amount (Option.get ts)
+    end
+  in
+  transfer "alice" "bob" 250;
+  transfer "bob" "alice" 100;
+  transfer "alice" "bob" 5000;
+  Printf.printf "balances: alice=%d bob=%d (sum %d)\n" (balance bank "alice") (balance bank "bob")
+    (balance bank "alice" + balance bank "bob");
+
+  (* Leave a transaction in flight... and crash. *)
+  let in_flight = History.Atomic.begin_txn bank in
+  History.Atomic.put in_flight ~key:"alice" "0";
+  History.Atomic.put in_flight ~key:"bob" "0";
+  print_endline "\nan embezzlement transaction is in flight (uncommitted) ... CRASH";
+
+  let srv2 =
+    ok
+      (Clio.Server.recover ~clock ~nvram ~alloc_volume:alloc
+         ~devices:(List.map Worm.Mem_device.io !devices) ())
+  in
+  let bank2 = ok (History.Atomic.create srv2 ~path:"/bank") in
+  Printf.printf "recovered by replaying %d committed transactions: alice=%d bob=%d (sum %d)\n"
+    (History.Atomic.replayed bank2) (balance bank2 "alice") (balance bank2 "bob")
+    (balance bank2 "alice" + balance bank2 "bob");
+
+  (* The redo log doubles as a complete, timestamped audit of every
+     committed transfer — free, because it is the storage. *)
+  let log = ok (Clio.Server.resolve srv2 "/bank") in
+  let n = ok (Clio.Server.fold_entries srv2 ~log ~init:0 (fun n _ -> n + 1)) in
+  Printf.printf "the redo log holds %d committed transactions as audit history\n" n

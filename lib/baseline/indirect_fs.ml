@@ -1,0 +1,200 @@
+(* Geometry: block 0 = superblock, blocks 1..inode_blocks = inode table,
+   data blocks after that. An inode is 64 bytes: u64 size, 12 direct u32
+   pointers, single- and double-indirect u32 pointers. The directory
+   (name -> inode) is kept in memory; the benchmarks only measure the data
+   path, which is fully on-device. *)
+
+let ndirect = 12
+let inode_bytes = 64
+let inode_table_blocks = 64
+
+type file = int (* inode number *)
+
+type t = {
+  dev : Rw_device.t;
+  dir : (string, int) Hashtbl.t;
+  mutable next_inode : int;
+  mutable next_block : int;
+  churn : int;  (* extra blocks skipped per allocation: other files' activity *)
+  mutable churn_phase : int;
+}
+
+let ( let* ) = Clio.Errors.( let* )
+
+let ptrs_per_block t = Rw_device.block_size t.dev / 4
+
+let format ?(churn = 0) dev =
+  let t =
+    {
+      dev;
+      dir = Hashtbl.create 16;
+      next_inode = 0;
+      next_block = 1 + inode_table_blocks;
+      churn;
+      churn_phase = 0;
+    }
+  in
+  Rw_device.write dev 0 (Bytes.make (Rw_device.block_size dev) '\000');
+  t
+
+let inodes_per_block t = Rw_device.block_size t.dev / inode_bytes
+
+let inode_loc t ino =
+  let per = inodes_per_block t in
+  (1 + (ino / per), ino mod per * inode_bytes)
+
+type inode = {
+  mutable size : int;
+  direct : int array;
+  mutable single : int;
+  mutable double : int;
+}
+
+let read_inode t ino =
+  let blk, off = inode_loc t ino in
+  let b = Rw_device.read t.dev blk in
+  let size = Int64.to_int (Bytes.get_int64_le b off) in
+  let direct = Array.init ndirect (fun i -> Int32.to_int (Bytes.get_int32_le b (off + 8 + (4 * i)))) in
+  let single = Int32.to_int (Bytes.get_int32_le b (off + 8 + (4 * ndirect))) in
+  let double = Int32.to_int (Bytes.get_int32_le b (off + 12 + (4 * ndirect))) in
+  { size; direct; single; double }
+
+let write_inode t ino inode =
+  let blk, off = inode_loc t ino in
+  let b = Rw_device.read t.dev blk in
+  Bytes.set_int64_le b off (Int64.of_int inode.size);
+  Array.iteri (fun i p -> Bytes.set_int32_le b (off + 8 + (4 * i)) (Int32.of_int p)) inode.direct;
+  Bytes.set_int32_le b (off + 8 + (4 * ndirect)) (Int32.of_int inode.single);
+  Bytes.set_int32_le b (off + 12 + (4 * ndirect)) (Int32.of_int inode.double);
+  Rw_device.write t.dev blk b
+
+let alloc_block t =
+  let b = t.next_block in
+  (* Simulate concurrent allocation by other files: skip churn blocks. *)
+  t.churn_phase <- t.churn_phase + 1;
+  let skip = if t.churn = 0 then 0 else 1 + (t.churn_phase mod t.churn) in
+  t.next_block <- t.next_block + 1 + skip;
+  if t.next_block >= Rw_device.capacity t.dev then failwith "indirect_fs: device full";
+  b
+
+let create_file t name =
+  if Hashtbl.mem t.dir name then Error (Clio.Errors.Log_exists name)
+  else begin
+    let ino = t.next_inode in
+    t.next_inode <- ino + 1;
+    Hashtbl.replace t.dir name ino;
+    write_inode t ino { size = 0; direct = Array.make ndirect 0; single = 0; double = 0 };
+    Ok ino
+  end
+
+let open_file t name =
+  match Hashtbl.find_opt t.dir name with
+  | Some ino -> Ok ino
+  | None -> Error (Clio.Errors.No_such_log name)
+
+(* Allocate-or-fetch the pointer at [slot] of pointer block [pblk]. *)
+let pointer_slot t ~alloc pblk slot =
+  let ib = Rw_device.read t.dev pblk in
+  let p = Int32.to_int (Bytes.get_int32_le ib (4 * slot)) in
+  if p <> 0 || not alloc then p
+  else begin
+    let p = alloc_block t in
+    Bytes.set_int32_le ib (4 * slot) (Int32.of_int p);
+    Rw_device.write t.dev pblk ib;
+    p
+  end
+
+let fresh_pointer_block t =
+  let b = alloc_block t in
+  Rw_device.write t.dev b (Bytes.make (Rw_device.block_size t.dev) '\000');
+  b
+
+(* Physical block holding file-block [k], allocating the path if [alloc].
+   Returns 0 for a hole when not allocating. *)
+let map_block t inode ~alloc k =
+  let ppb = ptrs_per_block t in
+  if k < ndirect then begin
+    if inode.direct.(k) = 0 && alloc then inode.direct.(k) <- alloc_block t;
+    Ok inode.direct.(k)
+  end
+  else if k < ndirect + ppb then begin
+    if inode.single = 0 && alloc then inode.single <- fresh_pointer_block t;
+    if inode.single = 0 then Ok 0
+    else Ok (pointer_slot t ~alloc inode.single (k - ndirect))
+  end
+  else begin
+    let k2 = k - ndirect - ppb in
+    if k2 >= ppb * ppb then Error (Clio.Errors.Entry_too_large k)
+    else begin
+      if inode.double = 0 && alloc then inode.double <- fresh_pointer_block t;
+      if inode.double = 0 then Ok 0
+      else begin
+        let l1 = Rw_device.read t.dev inode.double in
+        let slot1 = k2 / ppb in
+        let lblk = Int32.to_int (Bytes.get_int32_le l1 (4 * slot1)) in
+        let lblk =
+          if lblk <> 0 || not alloc then lblk
+          else begin
+            let b = fresh_pointer_block t in
+            Bytes.set_int32_le l1 (4 * slot1) (Int32.of_int b);
+            Rw_device.write t.dev inode.double l1;
+            b
+          end
+        in
+        if lblk = 0 then Ok 0 else Ok (pointer_slot t ~alloc lblk (k2 mod ppb))
+      end
+    end
+  end
+
+let append t ino data =
+  let bs = Rw_device.block_size t.dev in
+  let inode = read_inode t ino in
+  let rec put off =
+    if off >= String.length data then Ok ()
+    else begin
+      let k = inode.size / bs in
+      let in_block = inode.size mod bs in
+      let n = min (bs - in_block) (String.length data - off) in
+      let* phys = map_block t inode ~alloc:true k in
+      let b = if in_block = 0 then Bytes.make bs '\000' else Rw_device.read t.dev phys in
+      Bytes.blit_string data off b in_block n;
+      Rw_device.write t.dev phys b;
+      inode.size <- inode.size + n;
+      put (off + n)
+    end
+  in
+  let* () = put 0 in
+  write_inode t ino inode;
+  Ok ()
+
+let read_range t ino ~off ~len =
+  let bs = Rw_device.block_size t.dev in
+  let inode = read_inode t ino in
+  if off + len > inode.size then Error (Clio.Errors.Bad_record "read past end of file")
+  else begin
+    let buf = Bytes.create len in
+    let rec get pos =
+      if pos >= len then Ok (Bytes.to_string buf)
+      else begin
+        let k = (off + pos) / bs in
+        let in_block = (off + pos) mod bs in
+        let n = min (bs - in_block) (len - pos) in
+        let* phys = map_block t inode ~alloc:false k in
+        let b = Rw_device.read t.dev phys in
+        Bytes.blit b in_block buf pos n;
+        get (pos + n)
+      end
+    in
+    get 0
+  end
+
+let size t ino = (read_inode t ino).size
+
+let blocks_of_file t ino =
+  let bs = Rw_device.block_size t.dev in
+  let inode = read_inode t ino in
+  let nblocks = (inode.size + bs - 1) / bs in
+  List.init nblocks (fun k ->
+      match map_block t inode ~alloc:false k with Ok p -> p | Error _ -> 0)
+
+let device t = t.dev

@@ -1,0 +1,35 @@
+(** A Unix-style indirect-block file system on rewriteable storage.
+
+    The baseline for the paper's motivating claim: "in indirect block file
+    systems (such as Unix), blocks at the tail end of \[large, continually
+    growing\] files become increasingly expensive to read and write", and the
+    blocks end up scattered. Inodes hold a few direct pointers, then single
+    and double indirect blocks; every append to a growing file rewrites the
+    inode and any indirect blocks on its path.
+
+    The benchmark counters ({!Rw_device.writes}) expose the per-append
+    device-write amplification as the file grows. *)
+
+type t
+type file
+
+val format : ?churn:int -> Rw_device.t -> t
+(** Initialize an empty file system on a device. [churn] simulates block
+    allocations by other activity: each allocation skips up to [churn]
+    blocks, scattering a growing file exactly as the paper's introduction
+    describes. *)
+
+val create_file : t -> string -> (file, Clio.Errors.t) result
+val open_file : t -> string -> (file, Clio.Errors.t) result
+
+val append : t -> file -> string -> (unit, Clio.Errors.t) result
+(** Append bytes at end-of-file (buffered within the final partial block,
+    like the real thing: a small append still rewrites that block). *)
+
+val read_range : t -> file -> off:int -> len:int -> (string, Clio.Errors.t) result
+val size : t -> file -> int
+
+val blocks_of_file : t -> file -> int list
+(** Physical block numbers, in file order — used to measure scatter. *)
+
+val device : t -> Rw_device.t

@@ -1,0 +1,26 @@
+let contains st v ~log idx =
+  match Clio.Vol.view_block v idx with
+  | Clio.Vol.Records recs ->
+    Array.exists
+      (fun r ->
+        Clio.Catalog.is_member st.Clio.State.catalog ~log r.Clio.Block_format.header)
+      recs
+  | Clio.Vol.Invalid | Clio.Vol.Corrupted | Clio.Vol.Missing -> false
+
+let prev_block st v ~log ~before =
+  let limit = min before (Clio.Vol.written_limit v) in
+  let rec down idx examined =
+    if idx < 1 then Ok (None, examined)
+    else if contains st v ~log idx then Ok (Some idx, examined + 1)
+    else down (idx - 1) (examined + 1)
+  in
+  down (limit - 1) 0
+
+let next_block st v ~log ~from =
+  let limit = Clio.Vol.written_limit v in
+  let rec up idx examined =
+    if idx >= limit then Ok (None, examined)
+    else if contains st v ~log idx then Ok (Some idx, examined + 1)
+    else up (idx + 1) (examined + 1)
+  in
+  up (max 1 from) 0

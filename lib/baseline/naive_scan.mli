@@ -1,0 +1,25 @@
+(** The no-index baseline (section 2.1).
+
+    "In principle, a log server could locate the entries that are members of
+    a particular log file by examining every entry in every block of the
+    volume sequence. This, of course, would be prohibitively expensive,
+    especially if a desired entry is far away."
+
+    Operates on a real Clio volume, reading raw blocks with no entrymap
+    help, and reports how many blocks it had to examine — the comparison
+    column for the Figure 3 ablation. *)
+
+val prev_block :
+  Clio.State.t ->
+  Clio.Vol.t ->
+  log:Clio.Ids.logfile ->
+  before:int ->
+  (int option * int, Clio.Errors.t) result
+(** [(found block, blocks examined)]. *)
+
+val next_block :
+  Clio.State.t ->
+  Clio.Vol.t ->
+  log:Clio.Ids.logfile ->
+  from:int ->
+  (int option * int, Clio.Errors.t) result

@@ -1,0 +1,31 @@
+type t = {
+  block_size : int;
+  capacity : int;
+  blocks : bytes option array;
+  mutable reads : int;
+  mutable writes : int;
+}
+
+let create ?(block_size = 1024) ?(capacity = 65536) () =
+  { block_size; capacity; blocks = Array.make capacity None; reads = 0; writes = 0 }
+
+let block_size t = t.block_size
+let capacity t = t.capacity
+
+let read t idx =
+  t.reads <- t.reads + 1;
+  match t.blocks.(idx) with
+  | Some b -> Bytes.copy b
+  | None -> Bytes.make t.block_size '\000'
+
+let write t idx data =
+  assert (Bytes.length data = t.block_size);
+  t.writes <- t.writes + 1;
+  t.blocks.(idx) <- Some (Bytes.copy data)
+
+let reads t = t.reads
+let writes t = t.writes
+
+let reset_counters t =
+  t.reads <- 0;
+  t.writes <- 0

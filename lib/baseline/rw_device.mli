@@ -1,0 +1,17 @@
+(** In-memory rewriteable block device — the conventional magnetic-disk
+    substrate the paper's introduction compares against. Counts reads and
+    writes so the motivation benchmarks can report device operations per
+    file-system append. *)
+
+type t
+
+val create : ?block_size:int -> ?capacity:int -> unit -> t
+val block_size : t -> int
+val capacity : t -> int
+val read : t -> int -> bytes
+(** Unwritten blocks read as zeroes. *)
+
+val write : t -> int -> bytes -> unit
+val reads : t -> int
+val writes : t -> int
+val reset_counters : t -> unit

@@ -1,0 +1,26 @@
+type t = { block_entries : int; mutable n : int }
+
+let create ~block_entries =
+  assert (block_entries > 0);
+  { block_entries; n = 0 }
+
+let append t = t.n <- t.n + 1
+let length t = t.n
+
+let locate_back t ~distance =
+  assert (distance >= 0 && distance < max 1 t.n);
+  (* Greedy binary descent: from the newest entry, repeatedly take the
+     largest power-of-two skip that does not overshoot. Each hop lands on an
+     entry whose block must be read to follow its pointers. *)
+  let rec go remaining hops blocks last_block =
+    if remaining = 0 then (hops, blocks)
+    else begin
+      let rec largest p = if p * 2 <= remaining then largest (p * 2) else p in
+      let skip = largest 1 in
+      let pos = t.n - 1 - (distance - remaining) - skip in
+      let blk = pos / t.block_entries in
+      let blocks = if blk = last_block then blocks else blocks + 1 in
+      go (remaining - skip) (hops + 1) blocks blk
+    end
+  in
+  go distance 0 0 ((t.n - 1) / t.block_entries)

@@ -1,0 +1,30 @@
+(** Binary-tree locate structure, after Daniels et al. (section 5.1).
+
+    The distributed-logging design of Daniels, Spector and Thompson tags
+    entries with sequence numbers and locates them through "a binary tree
+    structure". The paper's comparison: "the performance of this scheme is
+    within a constant factor of ours (both schemes have logarithmic
+    performance) ... but our scheme requires significantly fewer disk read
+    operations, on average, to locate very distant log entries."
+
+    The model: every entry of a log file carries back-pointers to the
+    entries 1, 2, 4, 8, … positions earlier (a binary skip structure, the
+    append-only realization of their tree). Pointers live with the entries,
+    so following a pointer reads the {e block} holding the target entry —
+    distinct blocks almost every hop, which is exactly why it loses to the
+    entrymap's shared upper levels. *)
+
+type t
+
+val create : block_entries:int -> t
+(** [block_entries] = how many entries share one device block (packing
+    density), used to translate entry hops into distinct block reads. *)
+
+val append : t -> unit
+(** Record one more entry in the chain. *)
+
+val length : t -> int
+
+val locate_back : t -> distance:int -> int * int
+(** [(pointer hops, distinct blocks read)] to reach the entry [distance]
+    positions back from the newest, greedy largest-first skips. *)

@@ -1,0 +1,113 @@
+type oid = int
+
+type t = {
+  dev : Worm.Block_io.t;
+  index : (oid, int * int) Hashtbl.t;  (* oid -> (newest version block, count) *)
+}
+
+let header_bytes = 16
+let magic = 0x51A1
+
+let ( let* ) = Clio.Errors.( let* )
+
+let create dev = { dev; index = Hashtbl.create 32 }
+
+let encode_version t ~oid ~prev data =
+  let bs = t.dev.Worm.Block_io.block_size in
+  let b = Bytes.make bs '\000' in
+  Clio.Wire.set_u16 b 0 magic;
+  Clio.Wire.set_u16 b 2 (String.length data);
+  Clio.Wire.set_u32 b 4 oid;
+  (* prev = block of the previous version + 1; 0 means none. *)
+  Clio.Wire.set_u32 b 8 (prev + 1);
+  Bytes.blit_string data 0 b header_bytes (String.length data);
+  b
+
+let decode_version t block =
+  let bs = t.dev.Worm.Block_io.block_size in
+  if Bytes.length block < header_bytes then None
+  else if Clio.Wire.get_u16 block 0 <> magic then None
+  else begin
+    let len = Clio.Wire.get_u16 block 2 in
+    if len > bs - header_bytes then None
+    else
+      Some
+        ( Clio.Wire.get_u32 block 4,
+          Clio.Wire.get_u32 block 8 - 1,
+          Bytes.sub_string block header_bytes len )
+  end
+
+let write_version t oid data =
+  let bs = t.dev.Worm.Block_io.block_size in
+  if String.length data > bs - header_bytes then
+    Error (Clio.Errors.Entry_too_large (String.length data))
+  else begin
+    let prev, count = match Hashtbl.find_opt t.index oid with Some v -> v | None -> (-1, 0) in
+    let* blk = Clio.Errors.of_dev (t.dev.Worm.Block_io.append (encode_version t ~oid ~prev data)) in
+    Hashtbl.replace t.index oid (blk, count + 1);
+    Ok blk
+  end
+
+let read_block t blk =
+  let* b = Clio.Errors.of_dev (t.dev.Worm.Block_io.read blk) in
+  match decode_version t b with
+  | Some v -> Ok v
+  | None -> Error (Clio.Errors.Corrupt_block blk)
+
+let read_current t oid =
+  match Hashtbl.find_opt t.index oid with
+  | None -> Error Clio.Errors.No_entry
+  | Some (blk, _) ->
+    let* _, _, data = read_block t blk in
+    Ok data
+
+let read_back t oid ~steps =
+  match Hashtbl.find_opt t.index oid with
+  | None -> Error Clio.Errors.No_entry
+  | Some (blk, _) ->
+    let rec walk blk remaining reads =
+      let* _, prev, data = read_block t blk in
+      if remaining = 0 then Ok (data, reads + 1)
+      else if prev < 0 then Error Clio.Errors.No_entry
+      else walk prev (remaining - 1) (reads + 1)
+    in
+    walk blk steps 0
+
+let frontier t =
+  match t.dev.Worm.Block_io.frontier () with Some f -> f | None -> t.dev.Worm.Block_io.capacity
+
+(* "It is impossible to scan forwards through an object history without
+   reading every subsequent block on the storage device." *)
+let history_forward t oid ~from_block =
+  let stop = frontier t in
+  let rec scan blk acc reads =
+    if blk >= stop then Ok (List.rev acc, reads)
+    else
+      match t.dev.Worm.Block_io.read blk with
+      | Error _ -> scan (blk + 1) acc (reads + 1)
+      | Ok b -> (
+        match decode_version t b with
+        | Some (o, _, _) when o = oid -> scan (blk + 1) (blk :: acc) (reads + 1)
+        | Some _ | None -> scan (blk + 1) acc (reads + 1))
+  in
+  scan (max 0 from_block) [] 0
+
+let versions t oid =
+  match Hashtbl.find_opt t.index oid with Some (_, n) -> n | None -> 0
+
+let rebuild_index t =
+  Hashtbl.reset t.index;
+  let stop = frontier t in
+  let counts = Hashtbl.create 32 in
+  for blk = 0 to stop - 1 do
+    match t.dev.Worm.Block_io.read blk with
+    | Error _ -> ()
+    | Ok b -> (
+      match decode_version t b with
+      | Some (oid, _, _) ->
+        let n = match Hashtbl.find_opt counts oid with Some n -> n | None -> 0 in
+        Hashtbl.replace counts oid (n + 1);
+        Hashtbl.replace t.index oid (blk, n + 1)
+      | None -> ())
+  done;
+  Ok stop

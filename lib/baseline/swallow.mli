@@ -1,0 +1,44 @@
+(** A working Swallow-style object repository (section 5.1), for measured —
+    not just modeled — comparison.
+
+    Svobodova's Swallow stores object {e versions} on write-once storage;
+    "each object version is linked to the previously written version of the
+    same object. This link is the only location information that is written
+    to permanent storage." Consequences the paper calls out, all observable
+    here:
+    - reading the current version is cheap (a cached index points at it);
+    - walking history {e backwards} costs one block read per version;
+    - scanning {e forwards} through an object's history is impossible
+      "without reading every subsequent block on the storage device";
+    - after a crash, the in-memory index is rebuilt only by scanning the
+      whole device (there is no entrymap equivalent).
+
+    One version per device block, as the design's large-object assumption
+    had it. *)
+
+type t
+type oid = int
+
+val create : Worm.Block_io.t -> t
+(** An empty repository on a WORM device. *)
+
+val write_version : t -> oid -> string -> (int, Clio.Errors.t) result
+(** Append a new version; returns its block. Data must fit one block (minus
+    a 16-byte header). *)
+
+val read_current : t -> oid -> (string, Clio.Errors.t) result
+(** Via the volatile index: one block read. *)
+
+val read_back : t -> oid -> steps:int -> (string * int, Clio.Errors.t) result
+(** Walk [steps] back-pointers from the newest version; returns the data
+    and the number of block reads performed. *)
+
+val history_forward : t -> oid -> from_block:int -> (int list * int, Clio.Errors.t) result
+(** All version blocks of [oid] at or after [from_block], oldest first —
+    and the block reads it cost (every device block from [from_block] to
+    the frontier, the design's weakness). *)
+
+val versions : t -> oid -> int
+val rebuild_index : t -> (int, Clio.Errors.t) result
+(** Crash recovery: drop the index, rescan the device; returns blocks
+    examined (all of them). *)

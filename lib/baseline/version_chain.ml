@@ -1,0 +1,20 @@
+type t = { mutable blocks : int list (* newest first *) }
+
+let create () = { blocks = [] }
+let add_version t ~block = t.blocks <- block :: t.blocks
+let versions t = List.length t.blocks
+
+let back_cost t ~steps =
+  assert (steps >= 0 && steps < max 1 (versions t));
+  (* One read per hop: each version's block must be read to find the next
+     back-pointer. *)
+  steps
+
+let forward_cost t ~from_version ~device_blocks =
+  let n = versions t in
+  assert (from_version >= 0 && from_version < n);
+  (* Position of that version on the device; everything after it must be
+     scanned. *)
+  let blocks = List.rev t.blocks in
+  let pos = List.nth blocks from_version in
+  max 0 (device_blocks - pos)

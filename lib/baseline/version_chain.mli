@@ -1,0 +1,28 @@
+(** Swallow-style version chains (section 5.1).
+
+    "In Swallow, each object version is linked to the previously written
+    version of the same object. This link is the only location information
+    that is written to permanent storage. ... It is impossible to scan
+    forwards through an object history without reading every subsequent
+    block on the storage device."
+
+    The model: versions at known block positions, each holding only a
+    back-pointer. Backward access to the k-th previous version costs k
+    block reads; forward scanning from an old version costs a read of every
+    later block on the device. *)
+
+type t
+
+val create : unit -> t
+val add_version : t -> block:int -> unit
+(** Record that a new version of the object was written at [block]. *)
+
+val versions : t -> int
+
+val back_cost : t -> steps:int -> int
+(** Block reads to walk [steps] versions back from the newest. *)
+
+val forward_cost : t -> from_version:int -> device_blocks:int -> int
+(** Block reads to find all versions after [from_version] without forward
+    pointers: every device block from that version's position to the
+    frontier must be examined. *)

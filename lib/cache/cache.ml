@@ -1,0 +1,55 @@
+type t = {
+  inner : Worm.Block_io.t;
+  lru : bytes Lru.t;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let create ?(capacity_blocks = 1024) inner =
+  { inner; lru = Lru.create ~capacity:capacity_blocks; hits = 0; misses = 0 }
+
+let read t idx : (bytes, Worm.Block_io.error) result =
+  match Lru.find t.lru idx with
+  | Some b ->
+    t.hits <- t.hits + 1;
+    Ok b
+  | None -> (
+    t.misses <- t.misses + 1;
+    match t.inner.Worm.Block_io.read idx with
+    | Ok b ->
+      ignore (Lru.add t.lru idx b);
+      Ok b
+    | Error _ as e -> e)
+
+let append t data =
+  match t.inner.Worm.Block_io.append data with
+  | Ok idx ->
+    ignore (Lru.add t.lru idx (Bytes.copy data));
+    Ok idx
+  | Error _ as e -> e
+
+let invalidate t idx =
+  Lru.remove t.lru idx;
+  t.inner.Worm.Block_io.invalidate idx
+
+let io t : Worm.Block_io.t =
+  {
+    t.inner with
+    read = read t;
+    append = append t;
+    invalidate = invalidate t;
+  }
+
+let hits t = t.hits
+let misses t = t.misses
+let resident t = Lru.length t.lru
+let contains t idx = Lru.peek t.lru idx <> None
+
+let preload t idx =
+  match read t idx with Ok _ -> Ok () | Error e -> Error e
+
+let drop t = Lru.clear t.lru
+
+let reset_counters t =
+  t.hits <- 0;
+  t.misses <- 0

@@ -1,0 +1,36 @@
+(** Block cache over a log device — the paper's shared "buffer pool".
+
+    Clio was built as an extension of an existing file server precisely to
+    reuse its block cache (section 2); the whole performance analysis of
+    section 3.3 is phrased in terms of which entrymap and data blocks are
+    cached. This module provides read-through caching with hit/miss counters
+    and presents the same {!Worm.Block_io.t} interface downstream, so the
+    server code is oblivious to caching.
+
+    Because the medium is write-once, cached blocks can never go stale —
+    except through invalidation, which evicts. *)
+
+type t
+
+val create : ?capacity_blocks:int -> Worm.Block_io.t -> t
+(** [capacity_blocks] defaults to 1024 (1 MB of 1 KB blocks). *)
+
+val io : t -> Worm.Block_io.t
+(** The caching view. Appended blocks are inserted into the cache on the way
+    down (the paper's "log entry in the block cache" write path). *)
+
+val hits : t -> int
+val misses : t -> int
+val resident : t -> int
+
+val contains : t -> int -> bool
+(** True if block [idx] is cached (does not promote). *)
+
+val preload : t -> int -> (unit, Worm.Block_io.error) result
+(** Force block [idx] into the cache — used by benchmarks that measure the
+    fully-cached costs of Table 1. *)
+
+val drop : t -> unit
+(** Empty the cache (cold-cache experiments). *)
+
+val reset_counters : t -> unit

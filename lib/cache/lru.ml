@@ -1,0 +1,88 @@
+type 'a node = {
+  key : int;
+  mutable value : 'a;
+  mutable prev : 'a node option;
+  mutable next : 'a node option;
+}
+
+type 'a t = {
+  capacity : int;
+  table : (int, 'a node) Hashtbl.t;
+  mutable head : 'a node option;  (* most recently used *)
+  mutable tail : 'a node option;  (* least recently used *)
+}
+
+let create ~capacity =
+  assert (capacity > 0);
+  { capacity; table = Hashtbl.create (2 * capacity); head = None; tail = None }
+
+let capacity t = t.capacity
+let length t = Hashtbl.length t.table
+
+let unlink t n =
+  (match n.prev with Some p -> p.next <- n.next | None -> t.head <- n.next);
+  (match n.next with Some s -> s.prev <- n.prev | None -> t.tail <- n.prev);
+  n.prev <- None;
+  n.next <- None
+
+let push_front t n =
+  n.next <- t.head;
+  n.prev <- None;
+  (match t.head with Some h -> h.prev <- Some n | None -> t.tail <- Some n);
+  t.head <- Some n
+
+let find t k =
+  match Hashtbl.find_opt t.table k with
+  | None -> None
+  | Some n ->
+    unlink t n;
+    push_front t n;
+    Some n.value
+
+let peek t k =
+  match Hashtbl.find_opt t.table k with None -> None | Some n -> Some n.value
+
+let add t k v =
+  (match Hashtbl.find_opt t.table k with
+  | Some n ->
+    n.value <- v;
+    unlink t n;
+    push_front t n
+  | None ->
+    let n = { key = k; value = v; prev = None; next = None } in
+    Hashtbl.replace t.table k n;
+    push_front t n);
+  if Hashtbl.length t.table > t.capacity then
+    match t.tail with
+    | None -> None
+    | Some lru ->
+      unlink t lru;
+      Hashtbl.remove t.table lru.key;
+      Some (lru.key, lru.value)
+  else None
+
+let remove t k =
+  match Hashtbl.find_opt t.table k with
+  | None -> ()
+  | Some n ->
+    unlink t n;
+    Hashtbl.remove t.table k
+
+let clear t =
+  Hashtbl.reset t.table;
+  t.head <- None;
+  t.tail <- None
+
+let iter t f =
+  let rec go = function
+    | None -> ()
+    | Some n ->
+      f n.key n.value;
+      go n.next
+  in
+  go t.head
+
+let keys_mru_order t =
+  let acc = ref [] in
+  iter t (fun k _ -> acc := k :: !acc);
+  List.rev !acc

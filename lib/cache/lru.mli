@@ -1,0 +1,30 @@
+(** Bounded least-recently-used map with integer keys.
+
+    The block cache's eviction structure. O(1) find / add / touch / evict via
+    a hash table over an intrusive doubly-linked list. *)
+
+type 'a t
+
+val create : capacity:int -> 'a t
+(** [capacity] must be positive. *)
+
+val capacity : 'a t -> int
+val length : 'a t -> int
+
+val find : 'a t -> int -> 'a option
+(** [find t k] returns the value and promotes [k] to most-recently-used. *)
+
+val peek : 'a t -> int -> 'a option
+(** Like {!find} without promoting. *)
+
+val add : 'a t -> int -> 'a -> (int * 'a) option
+(** [add t k v] inserts or replaces the binding, promoting it; returns the
+    evicted (key, value) if the capacity was exceeded. *)
+
+val remove : 'a t -> int -> unit
+val clear : 'a t -> unit
+
+val iter : 'a t -> (int -> 'a -> unit) -> unit
+(** Iterates from most- to least-recently-used. *)
+
+val keys_mru_order : 'a t -> int list

@@ -1,0 +1,33 @@
+let levels_for_distance ~fanout ~distance =
+  let rec go k span = if span >= distance then k else go (k + 1) (span * fanout) in
+  go 1 fanout
+
+let locate_examinations ~fanout ~distance =
+  if distance <= 0 then 0 else (2 * levels_for_distance ~fanout ~distance) - 1
+
+let log_base b x = log x /. log b
+
+let locate_examinations_avg ~fanout ~distance =
+  if distance <= 1.0 then 0.0
+  else Float.max 1.0 ((2.0 *. log_base (float_of_int fanout) distance) -. 1.0)
+
+let recovery_examinations_avg ~fanout ~written =
+  if written <= 1.0 then 0.0
+  else float_of_int fanout *. log_base (float_of_int fanout) written /. 2.0
+
+let recovery_examinations_worst ~fanout ~written =
+  if written <= 1.0 then 0.0
+  else float_of_int fanout *. log_base (float_of_int fanout) written
+
+let frontier_probes ~capacity =
+  int_of_float (ceil (log_base 2.0 (float_of_int (max 2 capacity))))
+
+let entrymap_entries_per_block ~fanout = 1.0 /. float_of_int (fanout - 1)
+
+let entrymap_entry_bytes ~fanout ~files = Entrymap.entry_overhead_bytes ~fanout ~files
+
+let space_overhead_per_entry ~fanout ~header_bytes ~files_per_map ~entry_block_ratio =
+  let n = float_of_int fanout in
+  entry_block_ratio
+  *. (header_bytes +. (files_per_map *. ((n /. 8.0) +. 2.0)))
+  /. (n -. 1.0)

@@ -1,0 +1,46 @@
+(** Closed-form cost and overhead formulas from section 3.
+
+    The benchmark harness prints these next to the measured values so the
+    Figure 3 / Figure 4 / section 3.5 reproductions show theory and
+    measurement side by side. *)
+
+val levels_for_distance : fanout:int -> distance:int -> int
+(** Smallest k with N^k ≥ d (k ≥ 1 for d ≥ 1). *)
+
+val locate_examinations : fanout:int -> distance:int -> int
+(** Worst-case entrymap log entries examined to locate an entry [distance]
+    blocks away: 0 for distance 0, else 2k − 1 (climb k levels, descend
+    k − 1) — the stair-step version of Figure 3's curves and exactly
+    Table 1's second column at distances N^k. *)
+
+val locate_examinations_avg : fanout:int -> distance:float -> float
+(** Smooth version, 2·log_N d − 1, as plotted in Figure 3. *)
+
+val recovery_examinations_avg : fanout:int -> written:float -> float
+(** Average blocks examined to reconstruct entrymap information on reboot:
+    (N·log_N b)/2 (Figure 4). *)
+
+val recovery_examinations_worst : fanout:int -> written:float -> float
+(** N·log_N b. *)
+
+val frontier_probes : capacity:int -> int
+(** log₂ V probes for the binary search of section 3.4 step 1. *)
+
+val entrymap_entries_per_block : fanout:int -> float
+(** e ≤ 1/(N−1): level-l entries appear every N^l blocks, summed over l. *)
+
+val entrymap_entry_bytes : fanout:int -> files:int -> int
+(** E = h_e + a·(N/8 + c): encoded size of an entrymap entry mentioning
+    [files] log files. *)
+
+val space_overhead_per_entry :
+  fanout:int ->
+  header_bytes:float ->
+  files_per_map:float ->
+  entry_block_ratio:float ->
+  float
+(** The section 3.5 bound on the per-entry overhead due to entrymap log
+    entries: o_e ≤ c̄·(h_e + a·(N/8 + c'))/(N−1) bytes, with c̄ the fraction
+    of a block one entry occupies and a the average number of log files per
+    entrymap entry. For the paper's login log (c̄ = 1/15, a = 8, N = 16)
+    this is < 0.16 bytes. *)

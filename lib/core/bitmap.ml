@@ -1,0 +1,60 @@
+type t = { width : int; bits : Bytes.t }
+
+let byte_width n = (n + 7) / 8
+
+let create n =
+  assert (n > 0);
+  { width = n; bits = Bytes.make (byte_width n) '\000' }
+
+let width t = t.width
+
+let set t i =
+  assert (i >= 0 && i < t.width);
+  let b = Char.code (Bytes.get t.bits (i / 8)) in
+  Bytes.set t.bits (i / 8) (Char.chr (b lor (1 lsl (i mod 8))))
+
+let get t i =
+  i >= 0 && i < t.width
+  && Char.code (Bytes.get t.bits (i / 8)) land (1 lsl (i mod 8)) <> 0
+
+let is_empty t =
+  let n = Bytes.length t.bits in
+  let rec go i = i >= n || (Bytes.get t.bits i = '\000' && go (i + 1)) in
+  go 0
+
+let copy t = { width = t.width; bits = Bytes.copy t.bits }
+
+let union dst src =
+  assert (dst.width = src.width);
+  for i = 0 to Bytes.length dst.bits - 1 do
+    let v = Char.code (Bytes.get dst.bits i) lor Char.code (Bytes.get src.bits i) in
+    Bytes.set dst.bits i (Char.chr v)
+  done
+
+let full n =
+  let t = create n in
+  for i = 0 to n - 1 do
+    set t i
+  done;
+  t
+
+let highest_set_below t j =
+  let rec go i = if i < 0 then None else if get t i then Some i else go (i - 1) in
+  go (min (j - 1) (t.width - 1))
+
+let lowest_set_from t j =
+  let rec go i = if i >= t.width then None else if get t i then Some i else go (i + 1) in
+  go (max j 0)
+
+let byte_length t = Bytes.length t.bits
+let to_string t = Bytes.to_string t.bits
+
+let of_string ~width s =
+  if String.length s <> byte_width width then
+    Error (Errors.Bad_record "bitmap length mismatch")
+  else Ok { width; bits = Bytes.of_string s }
+
+let pp ppf t =
+  for i = 0 to t.width - 1 do
+    Format.pp_print_char ppf (if get t i then '1' else '0')
+  done

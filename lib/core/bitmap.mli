@@ -1,0 +1,37 @@
+(** Fixed-width bitmaps — the payload of entrymap log entries.
+
+    An entrymap entry holds one [N]-bit bitmap per active log file
+    (section 2.1); bit [j] says whether sub-group [j] of the covered block
+    range contains entries of that file. *)
+
+type t
+
+val create : int -> t
+(** [create n] is an all-zero bitmap of [n] bits. *)
+
+val width : t -> int
+val set : t -> int -> unit
+val get : t -> int -> bool
+val is_empty : t -> bool
+val copy : t -> t
+val union : t -> t -> unit
+(** [union dst src] ors [src] into [dst]; widths must match. *)
+
+val full : int -> t
+(** [full n] has every bit set — used as the conservative stand-in when an
+    entrymap entry is missing (section 2.3.2: "assume no such entrymap entry
+    is present, at the cost of some additional searching"). *)
+
+val highest_set_below : t -> int -> int option
+(** [highest_set_below t j] is the largest set index strictly less than [j]. *)
+
+val lowest_set_from : t -> int -> int option
+(** [lowest_set_from t j] is the smallest set index ≥ [j]. *)
+
+val byte_length : t -> int
+val to_string : t -> string
+(** Raw bytes, ceil(n/8) long, for on-medium encoding. *)
+
+val of_string : width:int -> string -> (t, Errors.t) result
+val pp : Format.formatter -> t -> unit
+(** Renders as e.g. "0010010000010001" (Figure 2 style). *)

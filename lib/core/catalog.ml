@@ -1,0 +1,196 @@
+type descriptor = {
+  id : Ids.logfile;
+  parent : Ids.logfile;
+  name : string;
+  perms : int;
+  created : int64;
+}
+
+type t = {
+  table : (Ids.logfile, descriptor) Hashtbl.t;
+  by_name : (Ids.logfile * string, Ids.logfile) Hashtbl.t;
+  mutable next_id : Ids.logfile;
+}
+
+let ( let* ) = Errors.( let* )
+
+let root_descriptor =
+  { id = Ids.root; parent = Ids.root; name = "/"; perms = 0o555; created = 0L }
+
+let internal_descriptors =
+  [
+    { id = Ids.entrymap; parent = Ids.root; name = ".entrymap"; perms = 0o400; created = 0L };
+    { id = Ids.catalog; parent = Ids.root; name = ".catalog"; perms = 0o400; created = 0L };
+    { id = Ids.badblocks; parent = Ids.root; name = ".badblocks"; perms = 0o400; created = 0L };
+  ]
+
+let insert t d =
+  Hashtbl.replace t.table d.id d;
+  if d.id <> Ids.root then Hashtbl.replace t.by_name (d.parent, d.name) d.id
+
+let create () =
+  let t = { table = Hashtbl.create 64; by_name = Hashtbl.create 64; next_id = Ids.first_client } in
+  insert t root_descriptor;
+  List.iter (insert t) internal_descriptors;
+  t
+
+let find t id = Hashtbl.find_opt t.table id
+let exists t id = Hashtbl.mem t.table id
+
+let children t id =
+  Hashtbl.fold
+    (fun _ d acc -> if d.parent = id && d.id <> Ids.root then d :: acc else acc)
+    t.table []
+  |> List.sort (fun a b -> compare a.id b.id)
+
+let lookup_child t parent name =
+  match Hashtbl.find_opt t.by_name (parent, name) with
+  | None -> None
+  | Some id -> find t id
+
+let split_path path = String.split_on_char '/' path |> List.filter (fun s -> s <> "")
+
+let resolve_path t path =
+  if path = "" then Error (Errors.Invalid_name path)
+  else
+    let rec walk cur = function
+      | [] -> (
+        match find t cur with
+        | Some d -> Ok d
+        | None -> Error (Errors.No_such_log path))
+      | comp :: rest -> (
+        match lookup_child t cur comp with
+        | Some d -> walk d.id rest
+        | None -> Error (Errors.No_such_log path))
+    in
+    walk Ids.root (split_path path)
+
+let path_of t id =
+  let rec go id acc =
+    if id = Ids.root then acc
+    else
+      match find t id with
+      | None -> "?" :: acc
+      | Some d -> go d.parent (d.name :: acc)
+  in
+  match go id [] with [] -> "/" | comps -> "/" ^ String.concat "/" comps
+
+let ancestors t id =
+  let rec go id acc =
+    if id = Ids.root then List.rev acc
+    else
+      match find t id with
+      | None -> List.rev acc
+      | Some d ->
+        if d.parent = Ids.root then List.rev acc
+        else go d.parent (d.parent :: acc)
+  in
+  go id []
+
+let is_ancestor_or_self t ~anc id =
+  let rec go id steps =
+    if steps > 64 then false
+    else if id = anc then true
+    else if id = Ids.root then false
+    else match find t id with None -> false | Some d -> go d.parent (steps + 1)
+  in
+  go id 0
+
+let is_member t ~log header =
+  log = Ids.root
+  || List.exists (fun m -> is_ancestor_or_self t ~anc:log m) (Header.members header)
+
+let live_descriptors t =
+  Hashtbl.fold
+    (fun _ d acc ->
+      if d.id = Ids.root || Ids.is_internal d.id then acc else d :: acc)
+    t.table []
+  |> List.sort (fun a b -> compare a.id b.id)
+
+let next_free_id t =
+  let rec scan id =
+    if id > Ids.max_logfile then Error Errors.Catalog_full
+    else if exists t id then scan (id + 1)
+    else Ok id
+  in
+  scan t.next_id
+
+type op =
+  | Create of descriptor
+  | Set_perms of { id : Ids.logfile; perms : int; at : int64 }
+
+let validate_name name =
+  let len = String.length name in
+  if len = 0 || len > 255 then Error (Errors.Invalid_name name)
+  else if name = "." || name = ".." then Error (Errors.Invalid_name name)
+  else if String.contains name '/' then Error (Errors.Invalid_name name)
+  else Ok name
+
+let same_descriptor a b =
+  a.id = b.id && a.parent = b.parent && a.name = b.name && a.created = b.created
+
+let apply t op =
+  match op with
+  | Create d -> (
+    let* _ = validate_name d.name in
+    if not (Ids.valid d.id) || Ids.is_reserved d.id then
+      Error (Errors.Bad_record "reserved or invalid log file id")
+    else
+      match find t d.id with
+      | Some existing when same_descriptor existing d -> Ok () (* snapshot replay *)
+      | Some _ -> Error (Errors.Log_exists d.name)
+      | None ->
+        if not (exists t d.parent) then Error (Errors.No_such_log (path_of t d.parent))
+        else if lookup_child t d.parent d.name <> None then Error (Errors.Log_exists d.name)
+        else begin
+          insert t d;
+          if d.id >= t.next_id then t.next_id <- d.id + 1;
+          Ok ()
+        end)
+  | Set_perms { id; perms; at = _ } -> (
+    match find t id with
+    | None -> Error (Errors.No_such_log (string_of_int id))
+    | Some d ->
+      insert t { d with perms };
+      Ok ())
+
+let encode_op op =
+  let enc = Wire.Enc.create () in
+  (match op with
+  | Create d ->
+    Wire.Enc.u8 enc 1;
+    Wire.Enc.u16 enc d.id;
+    Wire.Enc.u16 enc d.parent;
+    Wire.Enc.u16 enc d.perms;
+    Wire.Enc.i64 enc d.created;
+    Wire.Enc.u8 enc (String.length d.name);
+    Wire.Enc.bytes enc d.name
+  | Set_perms { id; perms; at } ->
+    Wire.Enc.u8 enc 2;
+    Wire.Enc.u16 enc id;
+    Wire.Enc.u16 enc perms;
+    Wire.Enc.i64 enc at);
+  Wire.Enc.contents enc
+
+let decode_op payload =
+  let dec = Wire.Dec.of_string payload in
+  let* kind = Wire.Dec.u8 dec in
+  match kind with
+  | 1 ->
+    let* id = Wire.Dec.u16 dec in
+    let* parent = Wire.Dec.u16 dec in
+    let* perms = Wire.Dec.u16 dec in
+    let* created = Wire.Dec.i64 dec in
+    let* name_len = Wire.Dec.u8 dec in
+    let* name = Wire.Dec.bytes dec name_len in
+    Ok (Create { id; parent; name; perms; created })
+  | 2 ->
+    let* id = Wire.Dec.u16 dec in
+    let* perms = Wire.Dec.u16 dec in
+    let* at = Wire.Dec.i64 dec in
+    Ok (Set_perms { id; perms; at })
+  | k -> Error (Errors.Bad_record (Printf.sprintf "unknown catalog op %d" k))
+
+let replay t payload =
+  let* op = decode_op payload in
+  apply t op

@@ -1,0 +1,75 @@
+(** The catalog: log-file descriptors and the sublog hierarchy.
+
+    Per section 2.2, any attribute of a log file as a whole (name, parent,
+    permissions, creation time) is kept out of entry headers and logged in
+    the {e catalog log file}; the in-memory table here is merely a cache of
+    that log, rebuilt by {!replay} during server initialization
+    (section 2.3.1).
+
+    Sublogs (section 2.1): every log file has a parent, forming a tree rooted
+    at the volume-sequence log (id 0, name "/"). An entry logged in a sublog
+    belongs to every ancestor, and the tree doubles as the naming hierarchy
+    ("/mail/smith"). *)
+
+type descriptor = {
+  id : Ids.logfile;
+  parent : Ids.logfile;
+  name : string;  (** path component, unique among siblings *)
+  perms : int;
+  created : int64;
+}
+
+type t
+
+val create : unit -> t
+(** A fresh catalog containing only the implicit root and the reserved
+    internal files ("/.entrymap", "/.catalog", "/.badblocks"). *)
+
+(** {1 Queries} *)
+
+val find : t -> Ids.logfile -> descriptor option
+val exists : t -> Ids.logfile -> bool
+val children : t -> Ids.logfile -> descriptor list
+val lookup_child : t -> Ids.logfile -> string -> descriptor option
+
+val resolve_path : t -> string -> (descriptor, Errors.t) result
+(** [resolve_path t "/mail/smith"] walks the hierarchy. "/" resolves to the
+    root descriptor. *)
+
+val path_of : t -> Ids.logfile -> string
+(** Inverse of {!resolve_path}. *)
+
+val ancestors : t -> Ids.logfile -> Ids.logfile list
+(** Strict ancestors, nearest first, excluding the root: the ids whose
+    entrymap bitmaps an entry in this file must also set. *)
+
+val is_member : t -> log:Ids.logfile -> Header.t -> bool
+(** Does an entry with this header belong to log file [log]? True when [log]
+    is the root, equals a declared member, or is an ancestor of one. *)
+
+val live_descriptors : t -> descriptor list
+(** All non-root descriptors, in id order — what a new volume's catalog
+    snapshot re-logs. *)
+
+val next_free_id : t -> (Ids.logfile, Errors.t) result
+
+(** {1 Mutation + logging} *)
+
+type op =
+  | Create of descriptor
+  | Set_perms of { id : Ids.logfile; perms : int; at : int64 }
+
+val apply : t -> op -> (unit, Errors.t) result
+(** Applies an operation to the in-memory table. Creating an existing id is
+    an error except during snapshot replay when the descriptor is identical
+    (snapshots re-log live files at volume boundaries). *)
+
+val encode_op : op -> string
+val decode_op : string -> (op, Errors.t) result
+
+val replay : t -> string -> (unit, Errors.t) result
+(** Decode one catalog-log payload and apply it; tolerant of re-applied
+    identical [Create]s. *)
+
+val validate_name : string -> (string, Errors.t) result
+(** Component names: 1–255 bytes, no '/', not "." or "..". *)

@@ -1,0 +1,34 @@
+type t = {
+  block_size : int;
+  fanout : int;
+  cache_blocks : int;
+  nvram_tail : bool;
+  entrymap_slack : int;
+  timestamp_all : bool;
+}
+
+let default =
+  {
+    block_size = 1024;
+    fanout = 16;
+    cache_blocks = 1024;
+    nvram_tail = true;
+    entrymap_slack = 4;
+    timestamp_all = true;
+  }
+
+let validate t =
+  if t.fanout < 2 then Error (Errors.Bad_record "fanout must be >= 2")
+  else if t.fanout > 4096 then Error (Errors.Bad_record "fanout must be <= 4096")
+  else if t.block_size < 64 then Error (Errors.Bad_record "block size must be >= 64")
+  else if t.entrymap_slack < 1 then Error (Errors.Bad_record "entrymap slack must be >= 1")
+  else if t.cache_blocks < 1 then Error (Errors.Bad_record "cache must hold >= 1 block")
+  else Ok t
+
+let levels t ~capacity =
+  let rec go l p = if p >= capacity || l >= 12 then l else go (l + 1) (p * t.fanout) in
+  go 1 t.fanout
+
+let pow_fanout t l =
+  let rec go acc l = if l = 0 then acc else go (acc * t.fanout) (l - 1) in
+  go 1 l

@@ -1,0 +1,35 @@
+(** Log-server configuration. *)
+
+type t = {
+  block_size : int;
+      (** Device block size in bytes. The paper's measurements use 1 KB. *)
+  fanout : int;
+      (** N: entrymap bitmap width / search-tree degree. Section 3 concludes
+          16–32 is the sweet spot; the measurements use 16. *)
+  cache_blocks : int;  (** block-cache capacity (buffer pool size) *)
+  nvram_tail : bool;
+      (** Stage the tail block in battery-backed RAM (section 2.3.1). When
+          false, a forced write burns the remainder of the current block. *)
+  entrymap_slack : int;
+      (** How many blocks past a well-known position to scan for a displaced
+          entrymap entry before falling back a level (section 2.3.2). *)
+  timestamp_all : bool;
+      (** Timestamp every entry (the paper's full 14-byte header), not just
+          the mandatory first-entry-per-block ones. *)
+}
+
+val default : t
+(** 1 KB blocks, N = 16, 1024-block cache, NVRAM tail on, slack 4,
+    timestamps on — the configuration of the paper's section 3.2/3.3
+    measurements. *)
+
+val validate : t -> (t, Errors.t) result
+(** Checks structural constraints (fanout ≥ 2, block size large enough for a
+    maximal header plus trailer, etc.). *)
+
+val levels : t -> capacity:int -> int
+(** Number of entrymap levels worth maintaining for a volume of [capacity]
+    blocks: the smallest L with N^L ≥ capacity (at least 1). *)
+
+val pow_fanout : t -> int -> int
+(** [pow_fanout t l] is N^l (no overflow guard; l is small). *)

@@ -1,0 +1,37 @@
+let ( let* ) = Errors.( let* )
+
+let wrap ~seq payload =
+  let b = Bytes.create (8 + String.length payload) in
+  Wire.set_i64 b 0 seq;
+  Bytes.blit_string payload 0 b 8 (String.length payload);
+  Bytes.to_string b
+
+let unwrap data =
+  if String.length data < 8 then Error (Errors.Bad_record "entry too short for a sequence number")
+  else begin
+    let b = Bytes.of_string data in
+    Ok (Wire.get_i64 b 0, String.sub data 8 (String.length data - 8))
+  end
+
+let find st ~log ~seq ~client_ts ~max_skew_us =
+  let lo = Int64.sub client_ts max_skew_us in
+  let hi = Int64.add client_ts max_skew_us in
+  let* pos = Time_index.seek st lo in
+  let cursor = Reader.at_position st ~log pos in
+  let rec scan () =
+    let* e = Reader.next cursor in
+    match e with
+    | None -> Ok None
+    | Some e -> (
+      let beyond =
+        match e.Reader.timestamp with
+        | Some t -> Int64.compare t hi > 0
+        | None -> false
+      in
+      if beyond then Ok None
+      else
+        match unwrap e.Reader.payload with
+        | Ok (s, _) when Int64.equal s seq -> Ok (Some e)
+        | Ok _ | Error _ -> scan ())
+  in
+  scan ()

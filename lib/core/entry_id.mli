@@ -1,0 +1,28 @@
+(** Unique identification of asynchronously written entries (section 2.1).
+
+    A client that does not wait for the write cannot learn the server
+    timestamp. The paper's scheme: the client embeds (1) its own sequence
+    number in the entry and (2) remembers its own clock reading; the
+    timestamp later locates the entry's neighbourhood, the sequence number
+    pins it exactly. "Its correctness depends on the sequence number not
+    wrapping around within the maximum possible time skew between the client
+    and the server."
+
+    This module provides the client-side payload convention and the search. *)
+
+val wrap : seq:int64 -> string -> string
+(** Prefix [payload] with the client sequence number. *)
+
+val unwrap : string -> (int64 * string, Errors.t) result
+(** Recover (seq, original payload) from a wrapped entry. *)
+
+val find :
+  State.t ->
+  log:Ids.logfile ->
+  seq:int64 ->
+  client_ts:int64 ->
+  max_skew_us:int64 ->
+  (Reader.entry option, Errors.t) result
+(** Locate the entry with sequence number [seq] written around [client_ts]:
+    a time search to [client_ts - max_skew_us], then a bounded forward scan
+    while server timestamps remain ≤ [client_ts + max_skew_us]. *)

@@ -1,0 +1,31 @@
+type t =
+  | Device of Worm.Block_io.error
+  | Corrupt_block of int
+  | Bad_record of string
+  | No_such_log of string
+  | Log_exists of string
+  | Invalid_name of string
+  | Catalog_full
+  | Entry_too_large of int
+  | Volume_offline of int
+  | Sequence_full
+  | No_entry
+
+let pp ppf = function
+  | Device e -> Format.fprintf ppf "device: %a" Worm.Block_io.pp_error e
+  | Corrupt_block b -> Format.fprintf ppf "block %d is corrupt" b
+  | Bad_record msg -> Format.fprintf ppf "bad record: %s" msg
+  | No_such_log name -> Format.fprintf ppf "no such log file: %s" name
+  | Log_exists name -> Format.fprintf ppf "log file exists: %s" name
+  | Invalid_name name -> Format.fprintf ppf "invalid log file name: %s" name
+  | Catalog_full -> Format.fprintf ppf "catalog full (4095 log files)"
+  | Entry_too_large n -> Format.fprintf ppf "entry too large: %d bytes" n
+  | Volume_offline v -> Format.fprintf ppf "volume %d is offline" v
+  | Sequence_full -> Format.fprintf ppf "volume sequence exhausted"
+  | No_entry -> Format.fprintf ppf "no matching entry"
+
+let to_string e = Format.asprintf "%a" pp e
+
+let ( let* ) r f = match r with Ok v -> f v | Error _ as e -> e
+
+let of_dev = function Ok v -> Ok v | Error e -> Error (Device e)

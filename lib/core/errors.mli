@@ -1,0 +1,22 @@
+(** Error type shared by the whole log service. *)
+
+type t =
+  | Device of Worm.Block_io.error  (** propagated from the log device *)
+  | Corrupt_block of int  (** checksum mismatch — section 2.3.2 data loss *)
+  | Bad_record of string  (** malformed record or payload *)
+  | No_such_log of string
+  | Log_exists of string
+  | Invalid_name of string
+  | Catalog_full  (** all 4095 log-file ids are in use *)
+  | Entry_too_large of int
+  | Volume_offline of int  (** entry lives on a volume that is not mounted *)
+  | Sequence_full  (** no successor volume could be allocated *)
+  | No_entry  (** search found nothing *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+val ( let* ) : ('a, t) result -> ('a -> ('b, t) result) -> ('b, t) result
+(** Result bind, used pervasively in the implementation. *)
+
+val of_dev : ('a, Worm.Block_io.error) result -> ('a, t) result

@@ -1,0 +1,83 @@
+type t = {
+  version : int;
+  logfile : Ids.logfile;
+  timestamp : int64 option;
+  extra_members : Ids.logfile list;
+}
+
+let v_plain = 1
+let v_timestamped = 2
+let v_continuation = 3
+let v_multi = 4
+
+let make ?timestamp ?(extra_members = []) logfile =
+  assert (Ids.valid logfile);
+  List.iter (fun id -> assert (Ids.valid id)) extra_members;
+  match (timestamp, extra_members) with
+  | None, [] -> { version = v_plain; logfile; timestamp = None; extra_members = [] }
+  | Some _, [] -> { version = v_timestamped; logfile; timestamp; extra_members = [] }
+  | _, _ :: _ ->
+    (* Multi-member entries always carry a timestamp so they stay uniquely
+       identifiable in every member log file. *)
+    let timestamp = match timestamp with Some _ -> timestamp | None -> Some 0L in
+    { version = v_multi; logfile; timestamp; extra_members }
+
+let continuation logfile =
+  { version = v_continuation; logfile; timestamp = None; extra_members = [] }
+
+let is_start t = t.version <> v_continuation
+
+let byte_size t =
+  match t.version with
+  | 1 | 3 -> 2
+  | 2 -> 10
+  | 4 -> 11 + (2 * List.length t.extra_members)
+  | _ -> assert false
+
+let encode enc t =
+  Wire.Enc.u16 enc ((t.version lsl 12) lor (t.logfile land 0xFFF));
+  (match (t.version, t.timestamp) with
+  | (2 | 4), Some ts -> Wire.Enc.i64 enc ts
+  | (2 | 4), None -> assert false
+  | _ -> ());
+  if t.version = v_multi then begin
+    Wire.Enc.u8 enc (List.length t.extra_members);
+    List.iter (fun id -> Wire.Enc.u16 enc id) t.extra_members
+  end
+
+let decode block ~pos =
+  let len = Bytes.length block in
+  let need n =
+    if pos + n > len then Error (Errors.Bad_record "header past block end") else Ok ()
+  in
+  let ( let* ) = Errors.( let* ) in
+  let* () = need 2 in
+  let word = Wire.get_u16 block pos in
+  let version = word lsr 12 in
+  let logfile = word land 0xFFF in
+  match version with
+  | 1 -> Ok ({ version; logfile; timestamp = None; extra_members = [] }, pos + 2)
+  | 3 -> Ok ({ version; logfile; timestamp = None; extra_members = [] }, pos + 2)
+  | 2 ->
+    let* () = need 10 in
+    let ts = Wire.get_i64 block (pos + 2) in
+    Ok ({ version; logfile; timestamp = Some ts; extra_members = [] }, pos + 10)
+  | 4 ->
+    let* () = need 11 in
+    let ts = Wire.get_i64 block (pos + 2) in
+    let count = Wire.get_u8 block (pos + 10) in
+    let* () = need (11 + (2 * count)) in
+    let extra_members =
+      List.init count (fun i -> Wire.get_u16 block (pos + 11 + (2 * i)) land 0xFFF)
+    in
+    Ok ({ version; logfile; timestamp = Some ts; extra_members }, pos + 11 + (2 * count))
+  | v -> Error (Errors.Bad_record (Printf.sprintf "unknown header version %d" v))
+
+let members t = t.logfile :: t.extra_members
+
+let pp ppf t =
+  Format.fprintf ppf "v%d %a%s%s" t.version Ids.pp t.logfile
+    (match t.timestamp with Some ts -> Printf.sprintf " @%Ld" ts | None -> "")
+    (match t.extra_members with
+    | [] -> ""
+    | l -> " +" ^ String.concat "," (List.map string_of_int l))

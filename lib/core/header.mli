@@ -1,0 +1,41 @@
+(** Log-entry record headers (section 2.2).
+
+    The minimal header is 16 bits: a 4-bit version and the 12-bit local
+    log-file id. The entry size is {e not} stored here — it lives in the
+    per-block index at the end of each disk block (Figure 1). Versions:
+
+    - [1] — entry start, no timestamp (the paper's minimal 4-byte header,
+      2 bytes of which are the size held in the block index);
+    - [2] — entry start followed by a 64-bit timestamp (the paper's "complete
+      14-byte log entry header"); mandatory for the first entry of a block;
+    - [3] — continuation fragment of an entry begun in an earlier block;
+    - [4] — entry start with timestamp and a list of additional member
+      log-file ids (section 2.1 allows "a log entry to be a member of more
+      than one log file"). *)
+
+type t = {
+  version : int;
+  logfile : Ids.logfile;  (** primary (most specific) log file *)
+  timestamp : int64 option;
+  extra_members : Ids.logfile list;  (** version-4 additional memberships *)
+}
+
+val make :
+  ?timestamp:int64 -> ?extra_members:Ids.logfile list -> Ids.logfile -> t
+(** Chooses the smallest version that can represent the fields. *)
+
+val continuation : Ids.logfile -> t
+(** A version-3 fragment header. *)
+
+val is_start : t -> bool
+val byte_size : t -> int
+(** Encoded size: 2, 10, or 11 + 2·|extras|. *)
+
+val encode : Wire.Enc.t -> t -> unit
+val decode : bytes -> pos:int -> ((t * int), Errors.t) result
+(** [decode block ~pos] returns the header and the offset just past it. *)
+
+val members : t -> Ids.logfile list
+(** Primary plus extras (no ancestor expansion — that is {!Catalog}'s job). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,12 @@
+type logfile = int
+
+let root = 0
+let entrymap = 1
+let catalog = 2
+let badblocks = 3
+let first_client = 4
+let max_logfile = 4095
+let is_reserved id = id < first_client
+let is_internal id = id = entrymap || id = catalog || id = badblocks
+let valid id = id >= 0 && id <= max_logfile
+let pp ppf id = Format.fprintf ppf "#%d" id

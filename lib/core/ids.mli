@@ -1,0 +1,38 @@
+(** Log-file identifiers.
+
+    A local log-file id is the 12-bit index into the volume sequence's
+    catalog carried by every entry header (section 2.2). The low ids are
+    reserved for the service's own log files. *)
+
+type logfile = int
+(** Always in [\[0, 4095\]]. *)
+
+val root : logfile
+(** Id 0: the volume sequence log file — the sequence of {e all} entries ever
+    written to the volume sequence (section 2). Implicit: no entry header
+    names it, every entry belongs to it. *)
+
+val entrymap : logfile
+(** Id 1: the entrymap log file (section 2.1). *)
+
+val catalog : logfile
+(** Id 2: the catalog log file holding log-file attributes (section 2.2). *)
+
+val badblocks : logfile
+(** Id 3: the log of corrupted never-written block locations
+    (section 2.3.2). *)
+
+val first_client : logfile
+(** Lowest id handed to client log files. *)
+
+val max_logfile : logfile
+(** 4095 — the 12-bit limit. *)
+
+val is_reserved : logfile -> bool
+val is_internal : logfile -> bool
+(** Internal files (entrymap, catalog, badblocks) are served by the log
+    service itself; they are excluded from client directory listings but are
+    ordinary log files otherwise. *)
+
+val valid : logfile -> bool
+val pp : Format.formatter -> logfile -> unit

@@ -1,0 +1,191 @@
+type entry = {
+  log : Ids.logfile;
+  members : Ids.logfile list;
+  timestamp : int64 option;
+  payload : string;
+  pos : Assemble.position;
+}
+
+type cursor = {
+  st : State.t;
+  log : Ids.logfile;
+  mutable point : Assemble.position;
+      (* [next] yields the first matching start record at or after [point];
+         [prev] the last one strictly before it. *)
+}
+
+let ( let* ) = Errors.( let* )
+
+let log_of c = c.log
+
+let at_start st ~log = { st; log; point = { Assemble.vol = 0; block = 1; rec_index = 0 } }
+
+let at_end st ~log =
+  let* v = State.active st in
+  let nv = State.nvols st in
+  (* Park inside the open tail block at its current record count, not past
+     it: the block keeps gaining records, and a drained cursor must see
+     entries appended after it (the tail is part of the readable log). *)
+  let point =
+    if v.Vol.tail_open && not (Block_format.Builder.is_empty v.Vol.tail) then
+      {
+        Assemble.vol = nv - 1;
+        block = v.Vol.tail_index;
+        rec_index = Block_format.Builder.count v.Vol.tail;
+      }
+    else { Assemble.vol = nv - 1; block = Vol.written_limit v; rec_index = 0 }
+  in
+  Ok { st; log; point }
+
+let at_position st ~log pos = { st; log; point = pos }
+
+let make_entry c (header : Header.t) payload pos =
+  c.st.State.stats.Stats.entries_read <- c.st.State.stats.Stats.entries_read + 1;
+  {
+    log = header.Header.logfile;
+    members = Header.members header;
+    timestamp = header.Header.timestamp;
+    payload;
+    pos;
+  }
+
+(* ------------------------------ next ------------------------------ *)
+
+let rec next c : (entry option, Errors.t) result =
+  let p = c.point in
+  if p.Assemble.vol >= State.nvols c.st then Ok None
+  else begin
+    let* v = State.vol c.st p.Assemble.vol in
+    let limit = Vol.written_limit v in
+    let advance_volume () =
+      c.point <- { Assemble.vol = p.Assemble.vol + 1; block = 1; rec_index = 0 };
+      next c
+    in
+    if p.Assemble.block >= limit then
+      if p.Assemble.vol + 1 < State.nvols c.st then advance_volume () else Ok None
+    else if p.Assemble.rec_index = 0 then begin
+      (* At a block boundary: let the entrymap tree pick the next block that
+         has entries of this log file. *)
+      let* b = Locate.next_block c.st v ~log:c.log ~from:p.Assemble.block in
+      match b with
+      | None -> if p.Assemble.vol + 1 < State.nvols c.st then advance_volume () else Ok None
+      | Some b ->
+        c.point <- { p with block = b };
+        scan_block c
+    end
+    else scan_block c
+  end
+
+and scan_block c : (entry option, Errors.t) result =
+  let p = c.point in
+  let* v = State.vol c.st p.Assemble.vol in
+  match Vol.view_block v p.Assemble.block with
+  | Vol.Invalid | Vol.Corrupted | Vol.Missing ->
+    c.point <- { p with block = p.Assemble.block + 1; rec_index = 0 };
+    next c
+  | Vol.Records recs ->
+    let is_open_tail =
+      p.Assemble.vol = State.nvols c.st - 1
+      && v.Vol.tail_open
+      && p.Assemble.block = v.Vol.tail_index
+    in
+    let rec scan i =
+      if i >= Array.length recs then
+        if is_open_tail then begin
+          (* The open tail keeps growing: park at its current end so the
+             cursor sees entries appended after this call. *)
+          c.point <- { p with rec_index = Array.length recs };
+          Ok None
+        end
+        else begin
+          c.point <- { p with block = p.Assemble.block + 1; rec_index = 0 };
+          next c
+        end
+      else begin
+        let r = recs.(i) in
+        if
+          Header.is_start r.Block_format.header
+          && Catalog.is_member c.st.State.catalog ~log:c.log r.Block_format.header
+        then begin
+          let start_pos = { p with rec_index = i } in
+          match Assemble.entry_at c.st start_pos with
+          | Ok (header, payload, _end_pos) ->
+            c.point <- { p with rec_index = i + 1 };
+            Ok (Some (make_entry c header payload start_pos))
+          | Error (Errors.Corrupt_block _) | Error Errors.No_entry ->
+            (* Entry lost to corruption or an in-flight crash: skip it. *)
+            scan (i + 1)
+          | Error _ as e -> e
+        end
+        else scan (i + 1)
+      end
+    in
+    scan p.Assemble.rec_index
+
+(* ------------------------------ prev ------------------------------ *)
+
+let rec prev c : (entry option, Errors.t) result =
+  let p = c.point in
+  if p.Assemble.vol < 0 then Ok None
+  else begin
+    let* v = State.vol c.st p.Assemble.vol in
+    let retreat_volume () =
+      if p.Assemble.vol = 0 then Ok None
+      else begin
+        let* pv = State.vol c.st (p.Assemble.vol - 1) in
+        c.point <-
+          { Assemble.vol = p.Assemble.vol - 1; block = Vol.written_limit pv; rec_index = 0 };
+        prev c
+      end
+    in
+    let jump_before block =
+      let* b = Locate.prev_block c.st v ~log:c.log ~before:block in
+      match b with
+      | Some b ->
+        c.point <- { p with block = b; rec_index = max_int };
+        scan_block_back c
+      | None -> retreat_volume ()
+    in
+    if p.Assemble.block > Vol.written_limit v then begin
+      c.point <- { p with block = Vol.written_limit v; rec_index = 0 };
+      prev c
+    end
+    else if p.Assemble.rec_index = 0 then jump_before p.Assemble.block
+    else scan_block_back c
+  end
+
+and scan_block_back c : (entry option, Errors.t) result =
+  let p = c.point in
+  let* v = State.vol c.st p.Assemble.vol in
+  let jump () =
+    c.point <- { p with rec_index = 0 };
+    prev c
+  in
+  match Vol.view_block v p.Assemble.block with
+  | Vol.Invalid | Vol.Corrupted | Vol.Missing -> jump ()
+  | Vol.Records recs ->
+    let hi = min (p.Assemble.rec_index - 1) (Array.length recs - 1) in
+    (* Iterate start records only: reverse order is defined by entry start
+       positions, and a block holding just continuation fragments simply
+       sends the search further back (the fragments' start block is marked in
+       the entrymap too). *)
+    let rec scan i =
+      if i < 0 then jump ()
+      else begin
+        let r = recs.(i) in
+        if
+          Header.is_start r.Block_format.header
+          && Catalog.is_member c.st.State.catalog ~log:c.log r.Block_format.header
+        then begin
+          let start_pos = { p with rec_index = i } in
+          match Assemble.entry_at c.st start_pos with
+          | Ok (header, payload, _) ->
+            c.point <- start_pos;
+            Ok (Some (make_entry c header payload start_pos))
+          | Error (Errors.Corrupt_block _) | Error Errors.No_entry -> scan (i - 1)
+          | Error _ as e -> e
+        end
+        else scan (i - 1)
+      end
+    in
+    scan hi

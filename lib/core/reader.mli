@@ -1,0 +1,34 @@
+(** Reading log files: bidirectional entry cursors.
+
+    Per section 2, a log file opened for reading gives access to its entries
+    "either subsequent to, or prior to, any previous point in time" — so
+    cursors iterate both ways. Jumps between a log file's blocks go through
+    the entrymap search tree ({!Locate}); scans within a block use the
+    Figure-1 index. Entries in corrupted blocks are skipped (their data is
+    lost, section 2.3.2); an entry left incomplete by a crash is never
+    yielded. *)
+
+type entry = {
+  log : Ids.logfile;  (** primary log file *)
+  members : Ids.logfile list;  (** declared memberships (primary + extras) *)
+  timestamp : int64 option;
+  payload : string;
+  pos : Assemble.position;  (** start record of the entry *)
+}
+
+type cursor
+
+val log_of : cursor -> Ids.logfile
+
+val at_start : State.t -> log:Ids.logfile -> cursor
+(** Positioned before the first entry of the volume sequence. *)
+
+val at_end : State.t -> log:Ids.logfile -> (cursor, Errors.t) result
+(** Positioned after the last entry (including the open tail block). *)
+
+val at_position : State.t -> log:Ids.logfile -> Assemble.position -> cursor
+(** Positioned just before [pos]: [next] yields the first matching entry
+    starting at or after it, [prev] the last one starting strictly before. *)
+
+val next : cursor -> (entry option, Errors.t) result
+val prev : cursor -> (entry option, Errors.t) result

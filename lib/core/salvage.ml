@@ -1,0 +1,97 @@
+type report = {
+  logs_created : int;
+  entries_copied : int;
+  entries_lost : int;
+  timestamp_map : (int64 * int64) list;
+}
+
+let ( let* ) = Errors.( let* )
+
+(* Recreate the catalog with identical ids: walk descriptors in id order
+   (parents have smaller ids than children — creation order guarantees it
+   within one sequence). *)
+let copy_catalog ~src ~dst =
+  let st_src = Server.state src in
+  let descriptors = Catalog.live_descriptors st_src.State.catalog in
+  let* () =
+    if Catalog.live_descriptors (Server.state dst).State.catalog <> [] then
+      Error (Errors.Bad_record "destination sequence is not fresh")
+    else Ok ()
+  in
+  let rec create = function
+    | [] -> Ok ()
+    | (d : Catalog.descriptor) :: rest ->
+      let st_dst = Server.state dst in
+      let nd =
+        {
+          Catalog.id = d.Catalog.id;
+          parent = d.Catalog.parent;
+          name = d.Catalog.name;
+          perms = d.Catalog.perms;
+          created = State.fresh_ts st_dst;
+        }
+      in
+      let* () = Writer.log_catalog_op st_dst (Catalog.Create nd) in
+      create rest
+  in
+  let* () = create descriptors in
+  Ok (List.length descriptors)
+
+let copy_entries ~src ~dst =
+  (* One pass over the volume-sequence log keeps global (and therefore
+     per-log) order; entries of internal files are regenerated, not
+     copied. *)
+  let cursor = Server.cursor_start src ~log:Ids.root in
+  let rec go copied ts_map =
+    let* e = Server.next cursor in
+    match e with
+    | None -> Ok (copied, List.rev ts_map)
+    | Some e ->
+      if Ids.is_internal e.Reader.log then go copied ts_map
+      else begin
+        let extra_members =
+          List.filter (fun id -> id <> e.Reader.log) e.Reader.members
+        in
+        let* new_ts = Server.append ~extra_members dst ~log:e.Reader.log e.Reader.payload in
+        let ts_map =
+          match (e.Reader.timestamp, new_ts) with
+          | Some old_ts, Some nts -> (old_ts, nts) :: ts_map
+          | _ -> ts_map
+        in
+        go (copied + 1) ts_map
+      end
+  in
+  go 0 []
+
+(* Entries whose start records survive but cannot reassemble (a fragment sat
+   in a corrupted block) are skipped by the reader; count them by comparing
+   start records seen against entries yielded. *)
+let count_unreadable ~src =
+  let st = Server.state src in
+  let lost = ref 0 in
+  Array.iteri
+    (fun vi v ->
+      let limit = Vol.written_limit v in
+      for b = 1 to limit - 1 do
+        match Vol.view_block v b with
+        | Vol.Records recs ->
+          Array.iteri
+            (fun ri r ->
+              if
+                Header.is_start r.Block_format.header
+                && not (Ids.is_internal r.Block_format.header.Header.logfile)
+              then
+                match Assemble.entry_at st { Assemble.vol = vi; block = b; rec_index = ri } with
+                | Ok _ -> ()
+                | Error _ -> incr lost)
+            recs
+        | Vol.Invalid | Vol.Corrupted | Vol.Missing -> ()
+      done)
+    st.State.vols;
+  !lost
+
+let copy_sequence ~src ~dst =
+  let* logs_created = copy_catalog ~src ~dst in
+  let* entries_copied, timestamp_map = copy_entries ~src ~dst in
+  let* () = Server.force dst in
+  Ok { logs_created; entries_copied; entries_lost = count_unreadable ~src; timestamp_map }

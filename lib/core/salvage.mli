@@ -1,0 +1,27 @@
+(** Copying a volume sequence's surviving contents to a fresh sequence.
+
+    Section 2.3.2 considers (and for single corrupted blocks rejects as
+    wasteful) the alternative of "copy[ing] the log entries in the
+    uncorrupted blocks to a fresh volume". The operation is still needed in
+    practice — media migration, retiring a badly damaged sequence, or
+    compacting away invalidated blocks — so here it is: replay every
+    readable client entry, per log file and in order, into a destination
+    server.
+
+    What is preserved: the catalog (names, hierarchy, permissions), every
+    readable entry's payload, per-log entry order, and explicit multi-file
+    memberships. What is not: physical positions and original timestamps —
+    the destination assigns fresh ones (monotone in the same order), and
+    the mapping is reported so clients holding old timestamps can be
+    redirected. *)
+
+type report = {
+  logs_created : int;
+  entries_copied : int;
+  entries_lost : int;  (** start records whose entries could not reassemble *)
+  timestamp_map : (int64 * int64) list;
+      (** (source ts, destination ts), for entries that had timestamps *)
+}
+
+val copy_sequence : src:Server.t -> dst:Server.t -> (report, Errors.t) result
+(** [dst] must be freshly created (no client log files). *)

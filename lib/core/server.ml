@@ -1,0 +1,215 @@
+type t = State.t
+
+let ( let* ) = Errors.( let* )
+
+(* ------------------------------- lifecycle ------------------------------ *)
+
+let create ?(config = Config.default) ~clock ?nvram ~alloc_volume () =
+  let* config = Config.validate config in
+  let st = State.make ~config ~clock ?nvram ~alloc_volume () in
+  let* () = Writer.init_sequence st in
+  Ok st
+
+let recover ?(config = Config.default) ~clock ?nvram ~alloc_volume ~devices () =
+  Recovery.recover ~config ~clock ?nvram ~alloc_volume ~devices ()
+
+(* --------------------------------- naming ------------------------------- *)
+
+let resolve st path =
+  let* d = Catalog.resolve_path st.State.catalog path in
+  Ok d.Catalog.id
+
+let path_of st id = Catalog.path_of st.State.catalog id
+let descriptor st id = Catalog.find st.State.catalog id
+
+let list_logs st path =
+  let* d = Catalog.resolve_path st.State.catalog path in
+  Ok
+    (List.filter
+       (fun c -> not (Ids.is_internal c.Catalog.id))
+       (Catalog.children st.State.catalog d.Catalog.id))
+
+let split_parent path =
+  match String.rindex_opt path '/' with
+  | None -> Error (Errors.Invalid_name path)
+  | Some i ->
+    let parent = if i = 0 then "/" else String.sub path 0 i in
+    let name = String.sub path (i + 1) (String.length path - i - 1) in
+    if name = "" then Error (Errors.Invalid_name path) else Ok (parent, name)
+
+let create_log ?(perms = 0o644) st path =
+  let* parent_path, name = split_parent path in
+  let* parent = Catalog.resolve_path st.State.catalog parent_path in
+  let* name = Catalog.validate_name name in
+  if Catalog.lookup_child st.State.catalog parent.Catalog.id name <> None then
+    Error (Errors.Log_exists path)
+  else begin
+    let* id = Catalog.next_free_id st.State.catalog in
+    let d =
+      {
+        Catalog.id;
+        parent = parent.Catalog.id;
+        name;
+        perms;
+        created = State.fresh_ts st;
+      }
+    in
+    let* () = Writer.log_catalog_op st (Catalog.Create d) in
+    (* Catalog changes are metadata: make them durable immediately so a
+       crash cannot orphan entries of a freshly created log file. *)
+    let* () = Writer.force st in
+    Ok id
+  end
+
+let ensure_log ?(perms = 0o644) st path =
+  let components = String.split_on_char '/' path |> List.filter (fun s -> s <> "") in
+  if components = [] then Error (Errors.Invalid_name path)
+  else begin
+    let rec walk prefix = function
+      | [] -> resolve st prefix
+      | comp :: rest ->
+        let here = if prefix = "/" then "/" ^ comp else prefix ^ "/" ^ comp in
+        let* () =
+          match Catalog.resolve_path st.State.catalog here with
+          | Ok _ -> Ok ()
+          | Error (Errors.No_such_log _) ->
+            let* _id = create_log ~perms st here in
+            Ok ()
+          | Error _ as e -> e
+        in
+        walk here rest
+    in
+    walk "/" components
+  end
+
+let set_perms st ~log perms =
+  let* () =
+    Writer.log_catalog_op st (Catalog.Set_perms { id = log; perms; at = State.fresh_ts st })
+  in
+  Writer.force st
+
+(* --------------------------------- writing ------------------------------ *)
+
+let validate_append_target st ~log extra_members =
+  let check id =
+    if not (Ids.valid id) then Error (Errors.Bad_record "invalid log file id")
+    else if id = Ids.root then Error (Errors.Bad_record "cannot append to the volume sequence log")
+    else if Ids.is_internal id then Error (Errors.Bad_record "cannot append to an internal log file")
+    else if not (Catalog.exists st.State.catalog id) then
+      Error (Errors.No_such_log (string_of_int id))
+    else Ok ()
+  in
+  let* () = check log in
+  List.fold_left
+    (fun acc id ->
+      let* () = acc in
+      check id)
+    (Ok ()) extra_members
+
+let append ?(extra_members = []) ?(force = false) st ~log payload =
+  let* () = validate_append_target st ~log extra_members in
+  let timestamp =
+    if st.State.config.Config.timestamp_all then Some (State.fresh_ts st) else None
+  in
+  let header = Header.make ?timestamp ~extra_members log in
+  let* active = State.active st in
+  let max_payload0 =
+    Block_format.max_payload_in_empty_block
+      ~block_size:active.Vol.hdr.Volume.block_size ~header
+  in
+  if max_payload0 < 1 && String.length payload > 0 then
+    Error (Errors.Entry_too_large (String.length payload))
+  else begin
+    let* () = Writer.append_entry st ~header payload in
+    st.State.stats.Stats.entries_appended <- st.State.stats.Stats.entries_appended + 1;
+    let* () = if force then Writer.force st else Ok () in
+    Ok header.Header.timestamp
+  end
+
+let append_path ?extra_members ?force st ~path payload =
+  let* log = ensure_log st path in
+  append ?extra_members ?force st ~log payload
+
+let force st = Writer.force st
+
+(* --------------------------------- reading ------------------------------ *)
+
+let cursor_start st ~log = Reader.at_start st ~log
+let cursor_end st ~log = Reader.at_end st ~log
+let cursor_at st ~log pos = Reader.at_position st ~log pos
+
+let cursor_at_time st ~log ts =
+  let* pos = Time_index.seek st ts in
+  Ok (Reader.at_position st ~log pos)
+
+let next = Reader.next
+let prev = Reader.prev
+
+let first_entry st ~log = Reader.next (cursor_start st ~log)
+
+let last_entry st ~log =
+  let* c = cursor_end st ~log in
+  Reader.prev c
+
+let entry_at_or_after st ~log ts = Time_index.first_at_or_after st ~log ts
+let entry_before st ~log ts = Time_index.last_before st ~log ts
+
+let fold_entries st ~log ?from ~init f =
+  let c =
+    match from with
+    | Some pos -> Reader.at_position st ~log pos
+    | None -> Reader.at_start st ~log
+  in
+  let rec loop acc =
+    let* e = Reader.next c in
+    match e with None -> Ok acc | Some e -> loop (f acc e)
+  in
+  loop init
+
+(* ------------------------------ maintenance ----------------------------- *)
+
+let scrub_block st ~vol ~block =
+  let* v = State.vol st vol in
+  match Vol.view_block v block with
+  | Vol.Corrupted ->
+    let* () = Errors.of_dev (v.Vol.io.Worm.Block_io.invalidate block) in
+    st.State.badblock_queue <- block :: st.State.badblock_queue;
+    Ok ()
+  | Vol.Invalid -> Ok ()
+  | Vol.Records _ -> Error (Errors.Bad_record "refusing to scrub a valid block")
+  | Vol.Missing -> Error (Errors.Bad_record "refusing to scrub an unwritten block")
+
+let set_volume_offline st ~vol =
+  if vol < 0 || vol >= State.nvols st then Error (Errors.Volume_offline vol)
+  else if vol = State.nvols st - 1 then
+    Error (Errors.Bad_record "cannot shelve the active volume")
+  else begin
+    st.State.vols.(vol).Vol.online <- false;
+    Ok ()
+  end
+
+let set_volume_online st ~vol =
+  if vol < 0 || vol >= State.nvols st then Error (Errors.Volume_offline vol)
+  else begin
+    st.State.vols.(vol).Vol.online <- true;
+    Ok ()
+  end
+
+let volume_online st ~vol =
+  vol >= 0 && vol < State.nvols st && st.State.vols.(vol).Vol.online
+
+let set_auto_mount st flag = st.State.auto_mount <- flag
+let auto_mounts st = st.State.mounts
+
+let fsck ?verify_entrymap st = Fsck.check ?verify_entrymap st
+
+let stats st = st.State.stats
+let config st = st.State.config
+let nvols st = State.nvols st
+
+let volume_blocks_used st =
+  Array.fold_left
+    (fun acc v -> acc + Vol.device_frontier v)
+    0 st.State.vols
+
+let state st = st

@@ -1,0 +1,143 @@
+(** The Clio log service: public facade.
+
+    A [Server.t] manages one volume sequence on one or more write-once
+    devices and serves {e log files}: named, readable, append-only files
+    organized in a sublog hierarchy and accessed much like conventional
+    files (section 2). All state outside the devices (and optional NVRAM) is
+    volatile: {!recover} rebuilds it, and the property tests assert the
+    rebuilt server is observationally identical.
+
+    Example:
+    {[
+      let clock = Sim.Clock.simulated () in
+      let alloc ~vol_index:_ = Ok (Worm.Mem_device.io (Worm.Mem_device.create ())) in
+      let srv = Server.create ~clock ~alloc_volume:alloc () |> Result.get_ok in
+      let log = Server.create_log srv "/mail/smith" |> Result.get_ok in
+      let _ts = Server.append srv ~log "a message" in
+      ...
+    ]} *)
+
+type t
+
+(** {1 Lifecycle} *)
+
+val create :
+  ?config:Config.t ->
+  clock:Sim.Clock.t ->
+  ?nvram:Worm.Nvram.t ->
+  alloc_volume:(vol_index:int -> (Worm.Block_io.t, Errors.t) result) ->
+  unit ->
+  (t, Errors.t) result
+(** Start a brand-new volume sequence; volume 0 is allocated immediately. *)
+
+val recover :
+  ?config:Config.t ->
+  clock:Sim.Clock.t ->
+  ?nvram:Worm.Nvram.t ->
+  alloc_volume:(vol_index:int -> (Worm.Block_io.t, Errors.t) result) ->
+  devices:Worm.Block_io.t list ->
+  unit ->
+  (t, Errors.t) result
+(** Reboot from existing volumes (section 2.3.1). *)
+
+(** {1 Naming and the catalog} *)
+
+val create_log : ?perms:int -> t -> string -> (Ids.logfile, Errors.t) result
+(** [create_log t "/mail/smith"] creates a sublog under "/mail" (which must
+    exist). Creating under "/" makes a top-level log file. *)
+
+val ensure_log : ?perms:int -> t -> string -> (Ids.logfile, Errors.t) result
+(** Like {!create_log} but creates missing intermediate components and
+    succeeds if the log already exists. *)
+
+val resolve : t -> string -> (Ids.logfile, Errors.t) result
+val path_of : t -> Ids.logfile -> string
+val descriptor : t -> Ids.logfile -> Catalog.descriptor option
+val list_logs : t -> string -> (Catalog.descriptor list, Errors.t) result
+(** Children of a log file, internal files excluded. *)
+
+val set_perms : t -> log:Ids.logfile -> int -> (unit, Errors.t) result
+
+(** {1 Writing} *)
+
+val append :
+  ?extra_members:Ids.logfile list ->
+  ?force:bool ->
+  t ->
+  log:Ids.logfile ->
+  string ->
+  (int64 option, Errors.t) result
+(** Append one entry. Returns the server timestamp it was tagged with (which
+    uniquely identifies it, section 2.1) — [None] only when the
+    configuration disables per-entry timestamps and the entry did not start
+    a block. [force] makes the write synchronous (transaction-commit
+    semantics, section 2.3.1). [extra_members] adds the entry to additional
+    log files beyond [log] and its ancestors. *)
+
+val append_path :
+  ?extra_members:Ids.logfile list ->
+  ?force:bool ->
+  t ->
+  path:string ->
+  string ->
+  (int64 option, Errors.t) result
+(** [resolve] + [append], creating the log file if needed. *)
+
+val force : t -> (unit, Errors.t) result
+
+(** {1 Reading} *)
+
+val cursor_start : t -> log:Ids.logfile -> Reader.cursor
+val cursor_end : t -> log:Ids.logfile -> (Reader.cursor, Errors.t) result
+val cursor_at : t -> log:Ids.logfile -> Assemble.position -> Reader.cursor
+val cursor_at_time : t -> log:Ids.logfile -> int64 -> (Reader.cursor, Errors.t) result
+(** Positioned so that [next] yields entries from (block-resolution) time
+    [ts] onwards and [prev] yields earlier ones. *)
+
+val next : Reader.cursor -> (Reader.entry option, Errors.t) result
+val prev : Reader.cursor -> (Reader.entry option, Errors.t) result
+
+val first_entry : t -> log:Ids.logfile -> (Reader.entry option, Errors.t) result
+val last_entry : t -> log:Ids.logfile -> (Reader.entry option, Errors.t) result
+
+val entry_at_or_after : t -> log:Ids.logfile -> int64 -> (Reader.entry option, Errors.t) result
+val entry_before : t -> log:Ids.logfile -> int64 -> (Reader.entry option, Errors.t) result
+
+val fold_entries :
+  t ->
+  log:Ids.logfile ->
+  ?from:Assemble.position ->
+  init:'a ->
+  ('a -> Reader.entry -> 'a) ->
+  ('a, Errors.t) result
+(** Forward fold over every entry of a log file. *)
+
+(** {1 Maintenance and introspection} *)
+
+val scrub_block : t -> vol:int -> block:int -> (unit, Errors.t) result
+(** Invalidate a corrupted block (overwrite with 1s) so scans skip it
+    cleanly (section 2.3.2). Refuses to scrub valid blocks. *)
+
+val set_volume_offline : t -> vol:int -> (unit, Errors.t) result
+(** Shelve an older volume of the sequence (section 2.1). The active volume
+    cannot be shelved. With auto-mounting (the default) a later read that
+    needs it remounts it transparently; otherwise such reads fail with
+    [Volume_offline]. *)
+
+val set_volume_online : t -> vol:int -> (unit, Errors.t) result
+val volume_online : t -> vol:int -> bool
+val set_auto_mount : t -> bool -> unit
+val auto_mounts : t -> int
+(** Number of transparent remounts performed so far. *)
+
+val fsck : ?verify_entrymap:bool -> t -> (Fsck.report, Errors.t) result
+(** Deep structural verification; see {!Fsck}. *)
+
+val stats : t -> Stats.t
+val config : t -> Config.t
+val nvols : t -> int
+val volume_blocks_used : t -> int
+(** Total device blocks consumed across the sequence (incl. headers). *)
+
+val state : t -> State.t
+(** Escape hatch for benchmarks and tests that need the internals. *)

@@ -1,0 +1,80 @@
+type t = {
+  config : Config.t;
+  clock : Sim.Clock.t;
+  catalog : Catalog.t;
+  stats : Stats.t;
+  nvram : Worm.Nvram.t option;
+  alloc_volume : vol_index:int -> (Worm.Block_io.t, Errors.t) result;
+  mutable vols : Vol.t array;
+  mutable last_ts : int64;
+  mutable badblock_queue : int list;
+  mutable seq_uid : int64;
+  mutable next_vol_uid : int64;
+  mutable in_entry : bool;
+  mutable deferred_emissions : (Vol.t * Entrymap.entry) list;
+  mutable auto_mount : bool;
+  mutable mounts : int;
+}
+
+let make ~config ~clock ?nvram ~alloc_volume () =
+  {
+    config;
+    clock;
+    catalog = Catalog.create ();
+    stats = Stats.create ();
+    nvram;
+    alloc_volume;
+    vols = [||];
+    last_ts = 0L;
+    badblock_queue = [];
+    seq_uid = 0L;
+    next_vol_uid = 1L;
+    in_entry = false;
+    deferred_emissions = [];
+    auto_mount = true;
+    mounts = 0;
+  }
+
+let active t =
+  let n = Array.length t.vols in
+  if n = 0 then Error (Errors.Bad_record "no volumes attached") else Ok t.vols.(n - 1)
+
+let vol t i =
+  if i < 0 || i >= Array.length t.vols then Error (Errors.Volume_offline i)
+  else begin
+    let v = t.vols.(i) in
+    if v.Vol.online then Ok v
+    else if t.auto_mount then begin
+      (* "made available on demand, either automatically or manually" *)
+      v.Vol.online <- true;
+      t.mounts <- t.mounts + 1;
+      Ok v
+    end
+    else Error (Errors.Volume_offline i)
+  end
+
+let nvols t = Array.length t.vols
+
+let fresh_ts t =
+  let now = Sim.Clock.now t.clock in
+  let ts = if Int64.compare now t.last_ts > 0 then now else Int64.add t.last_ts 1L in
+  t.last_ts <- ts;
+  ts
+
+let fresh_vol_uid t =
+  let uid = t.next_vol_uid in
+  t.next_vol_uid <- Int64.add uid 1L;
+  uid
+
+let expand_members t header =
+  let tbl = Hashtbl.create 8 in
+  let add id =
+    if id <> Ids.root && id <> Ids.entrymap && not (Hashtbl.mem tbl id) then
+      Hashtbl.replace tbl id ()
+  in
+  List.iter
+    (fun id ->
+      add id;
+      List.iter add (Catalog.ancestors t.catalog id))
+    (Header.members header);
+  Hashtbl.fold (fun id () acc -> id :: acc) tbl [] |> List.sort compare

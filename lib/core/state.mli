@@ -1,0 +1,54 @@
+(** Whole-server mutable context shared by the writer, reader and recovery
+    paths. {!Server} is the public facade over this. *)
+
+type t = {
+  config : Config.t;
+  clock : Sim.Clock.t;
+  catalog : Catalog.t;
+  stats : Stats.t;
+  nvram : Worm.Nvram.t option;
+  alloc_volume : vol_index:int -> (Worm.Block_io.t, Errors.t) result;
+      (** hands out a fresh device when the active volume fills *)
+  mutable vols : Vol.t array;  (** oldest first; the last is active *)
+  mutable last_ts : int64;  (** enforces strictly monotonic timestamps *)
+  mutable badblock_queue : int list;
+      (** bad blocks awaiting a record in the bad-block log *)
+  mutable seq_uid : int64;
+  mutable next_vol_uid : int64;
+  mutable in_entry : bool;
+      (** an entry's fragments are being appended; entrymap emission must
+          wait so fragments of one log file never interleave *)
+  mutable deferred_emissions : (Vol.t * Entrymap.entry) list;
+      (** entrymap entries captured at their boundary, awaiting emission
+          (oldest first). Captured eagerly — the covered range is complete
+          the moment its boundary block opens — and written as soon as no
+          entry is mid-flight. *)
+  mutable auto_mount : bool;
+      (** remount shelved volumes transparently when a read needs them
+          (section 2.1's "on demand ... automatically"); when false, such
+          reads fail with [Volume_offline] *)
+  mutable mounts : int;  (** automatic remounts performed *)
+}
+
+val make :
+  config:Config.t ->
+  clock:Sim.Clock.t ->
+  ?nvram:Worm.Nvram.t ->
+  alloc_volume:(vol_index:int -> (Worm.Block_io.t, Errors.t) result) ->
+  unit ->
+  t
+(** A context with no volumes yet; the caller attaches them. *)
+
+val active : t -> (Vol.t, Errors.t) result
+val vol : t -> int -> (Vol.t, Errors.t) result
+val nvols : t -> int
+
+val fresh_ts : t -> int64
+(** Strictly-increasing timestamp from the clock. *)
+
+val fresh_vol_uid : t -> int64
+
+val expand_members : t -> Header.t -> Ids.logfile list
+(** The log-file ids whose entrymap bitmaps a record with this header must
+    set: declared members plus all their ancestors, minus the root and the
+    entrymap log itself (paper footnote 6), deduplicated. *)

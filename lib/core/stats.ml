@@ -1,0 +1,163 @@
+type t = {
+  mutable entries_appended : int;
+  mutable bytes_client : int;
+  mutable bytes_header : int;
+  mutable bytes_index : int;
+  mutable bytes_trailer : int;
+  mutable bytes_entrymap : int;
+  mutable bytes_catalog : int;
+  mutable bytes_padding : int;
+  mutable blocks_flushed : int;
+  mutable forces : int;
+  mutable nvram_syncs : int;
+  mutable displaced_blocks : int;
+  mutable bad_blocks : int;
+  mutable volumes_sealed : int;
+  mutable entries_read : int;
+  mutable entrymap_records_examined : int;
+  mutable locate_block_reads : int;
+  mutable fallback_blocks_scanned : int;
+  mutable time_probe_reads : int;
+  mutable recoveries : int;
+  mutable frontier_probe_reads : int;
+  mutable recovery_blocks_examined : int;
+}
+
+let create () =
+  {
+    entries_appended = 0;
+    bytes_client = 0;
+    bytes_header = 0;
+    bytes_index = 0;
+    bytes_trailer = 0;
+    bytes_entrymap = 0;
+    bytes_catalog = 0;
+    bytes_padding = 0;
+    blocks_flushed = 0;
+    forces = 0;
+    nvram_syncs = 0;
+    displaced_blocks = 0;
+    bad_blocks = 0;
+    volumes_sealed = 0;
+    entries_read = 0;
+    entrymap_records_examined = 0;
+    locate_block_reads = 0;
+    fallback_blocks_scanned = 0;
+    time_probe_reads = 0;
+    recoveries = 0;
+    frontier_probe_reads = 0;
+    recovery_blocks_examined = 0;
+  }
+
+let fields t =
+  [
+    ("entries_appended", t.entries_appended);
+    ("bytes_client", t.bytes_client);
+    ("bytes_header", t.bytes_header);
+    ("bytes_index", t.bytes_index);
+    ("bytes_trailer", t.bytes_trailer);
+    ("bytes_entrymap", t.bytes_entrymap);
+    ("bytes_catalog", t.bytes_catalog);
+    ("bytes_padding", t.bytes_padding);
+    ("blocks_flushed", t.blocks_flushed);
+    ("forces", t.forces);
+    ("nvram_syncs", t.nvram_syncs);
+    ("displaced_blocks", t.displaced_blocks);
+    ("bad_blocks", t.bad_blocks);
+    ("volumes_sealed", t.volumes_sealed);
+    ("entries_read", t.entries_read);
+    ("entrymap_records_examined", t.entrymap_records_examined);
+    ("locate_block_reads", t.locate_block_reads);
+    ("fallback_blocks_scanned", t.fallback_blocks_scanned);
+    ("time_probe_reads", t.time_probe_reads);
+    ("recoveries", t.recoveries);
+    ("frontier_probe_reads", t.frontier_probe_reads);
+    ("recovery_blocks_examined", t.recovery_blocks_examined);
+  ]
+
+let reset t =
+  t.entries_appended <- 0;
+  t.bytes_client <- 0;
+  t.bytes_header <- 0;
+  t.bytes_index <- 0;
+  t.bytes_trailer <- 0;
+  t.bytes_entrymap <- 0;
+  t.bytes_catalog <- 0;
+  t.bytes_padding <- 0;
+  t.blocks_flushed <- 0;
+  t.forces <- 0;
+  t.nvram_syncs <- 0;
+  t.displaced_blocks <- 0;
+  t.bad_blocks <- 0;
+  t.volumes_sealed <- 0;
+  t.entries_read <- 0;
+  t.entrymap_records_examined <- 0;
+  t.locate_block_reads <- 0;
+  t.fallback_blocks_scanned <- 0;
+  t.time_probe_reads <- 0;
+  t.recoveries <- 0;
+  t.frontier_probe_reads <- 0;
+  t.recovery_blocks_examined <- 0
+
+let snapshot t =
+  let s = create () in
+  s.entries_appended <- t.entries_appended;
+  s.bytes_client <- t.bytes_client;
+  s.bytes_header <- t.bytes_header;
+  s.bytes_index <- t.bytes_index;
+  s.bytes_trailer <- t.bytes_trailer;
+  s.bytes_entrymap <- t.bytes_entrymap;
+  s.bytes_catalog <- t.bytes_catalog;
+  s.bytes_padding <- t.bytes_padding;
+  s.blocks_flushed <- t.blocks_flushed;
+  s.forces <- t.forces;
+  s.nvram_syncs <- t.nvram_syncs;
+  s.displaced_blocks <- t.displaced_blocks;
+  s.bad_blocks <- t.bad_blocks;
+  s.volumes_sealed <- t.volumes_sealed;
+  s.entries_read <- t.entries_read;
+  s.entrymap_records_examined <- t.entrymap_records_examined;
+  s.locate_block_reads <- t.locate_block_reads;
+  s.fallback_blocks_scanned <- t.fallback_blocks_scanned;
+  s.time_probe_reads <- t.time_probe_reads;
+  s.recoveries <- t.recoveries;
+  s.frontier_probe_reads <- t.frontier_probe_reads;
+  s.recovery_blocks_examined <- t.recovery_blocks_examined;
+  s
+
+let diff ~after ~before =
+  let d = create () in
+  d.entries_appended <- after.entries_appended - before.entries_appended;
+  d.bytes_client <- after.bytes_client - before.bytes_client;
+  d.bytes_header <- after.bytes_header - before.bytes_header;
+  d.bytes_index <- after.bytes_index - before.bytes_index;
+  d.bytes_trailer <- after.bytes_trailer - before.bytes_trailer;
+  d.bytes_entrymap <- after.bytes_entrymap - before.bytes_entrymap;
+  d.bytes_catalog <- after.bytes_catalog - before.bytes_catalog;
+  d.bytes_padding <- after.bytes_padding - before.bytes_padding;
+  d.blocks_flushed <- after.blocks_flushed - before.blocks_flushed;
+  d.forces <- after.forces - before.forces;
+  d.nvram_syncs <- after.nvram_syncs - before.nvram_syncs;
+  d.displaced_blocks <- after.displaced_blocks - before.displaced_blocks;
+  d.bad_blocks <- after.bad_blocks - before.bad_blocks;
+  d.volumes_sealed <- after.volumes_sealed - before.volumes_sealed;
+  d.entries_read <- after.entries_read - before.entries_read;
+  d.entrymap_records_examined <- after.entrymap_records_examined - before.entrymap_records_examined;
+  d.locate_block_reads <- after.locate_block_reads - before.locate_block_reads;
+  d.fallback_blocks_scanned <- after.fallback_blocks_scanned - before.fallback_blocks_scanned;
+  d.time_probe_reads <- after.time_probe_reads - before.time_probe_reads;
+  d.recoveries <- after.recoveries - before.recoveries;
+  d.frontier_probe_reads <- after.frontier_probe_reads - before.frontier_probe_reads;
+  d.recovery_blocks_examined <- after.recovery_blocks_examined - before.recovery_blocks_examined;
+  d
+
+let overhead_bytes t =
+  t.bytes_header + t.bytes_index + t.bytes_trailer + t.bytes_entrymap + t.bytes_catalog
+  + t.bytes_padding
+
+let pp ppf t =
+  Format.pp_open_vbox ppf 0;
+  List.iter
+    (fun (name, v) -> if v <> 0 then Format.fprintf ppf "%-28s %d@," name v)
+    (fields t);
+  Format.pp_close_box ppf ()

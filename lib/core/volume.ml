@@ -1,0 +1,53 @@
+type header = {
+  block_size : int;
+  capacity : int;
+  fanout : int;
+  seq_uid : int64;
+  vol_index : int;
+  vol_uid : int64;
+  prev_uid : int64;
+  created : int64;
+}
+
+let magic = 0xC70F
+let format_version = 1
+
+let encode_header h =
+  let b = Bytes.make h.block_size '\000' in
+  Wire.set_u16 b 0 magic;
+  Wire.set_u8 b 2 format_version;
+  Wire.set_u32 b 4 h.block_size;
+  Wire.set_u32 b 8 h.capacity;
+  Wire.set_u16 b 12 h.fanout;
+  Wire.set_i64 b 16 h.seq_uid;
+  Wire.set_u32 b 24 h.vol_index;
+  Wire.set_i64 b 28 h.vol_uid;
+  Wire.set_i64 b 36 h.prev_uid;
+  Wire.set_i64 b 44 h.created;
+  Wire.set_u32 b (h.block_size - 4) (Wire.crc32 b ~pos:0 ~len:(h.block_size - 4));
+  b
+
+let is_volume_header b =
+  Bytes.length b >= 52 && Wire.get_u16 b 0 = magic && Wire.get_u8 b 2 = format_version
+
+let decode_header b =
+  if Bytes.length b < 52 then Error (Errors.Bad_record "volume header too short")
+  else if not (is_volume_header b) then Error (Errors.Bad_record "bad volume header magic")
+  else begin
+    let block_size = Wire.get_u32 b 4 in
+    if block_size <> Bytes.length b then Error (Errors.Bad_record "volume header size mismatch")
+    else if Wire.get_u32 b (block_size - 4) <> Wire.crc32 b ~pos:0 ~len:(block_size - 4) then
+      Error (Errors.Corrupt_block 0)
+    else
+      Ok
+        {
+          block_size;
+          capacity = Wire.get_u32 b 8;
+          fanout = Wire.get_u16 b 12;
+          seq_uid = Wire.get_i64 b 16;
+          vol_index = Wire.get_u32 b 24;
+          vol_uid = Wire.get_i64 b 28;
+          prev_uid = Wire.get_i64 b 36;
+          created = Wire.get_i64 b 44;
+        }
+  end

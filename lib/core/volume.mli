@@ -1,0 +1,26 @@
+(** Log volumes (section 2.1).
+
+    A log volume is one removable write-once medium. Block 0 holds a raw
+    volume header (not in log-block format) identifying the volume, its
+    position in its volume sequence, and the geometry every later block obeys
+    — so a volume is self-describing when remounted. Data blocks start at
+    index 1. *)
+
+type header = {
+  block_size : int;
+  capacity : int;
+  fanout : int;
+  seq_uid : int64;  (** identifies the volume sequence *)
+  vol_index : int;  (** 0-based position within the sequence *)
+  vol_uid : int64;
+  prev_uid : int64;  (** [vol_uid] of the predecessor; 0 for the first *)
+  created : int64;  (** microseconds *)
+}
+
+val encode_header : header -> bytes
+(** A full block image of [header.block_size] bytes. *)
+
+val decode_header : bytes -> (header, Errors.t) result
+
+val is_volume_header : bytes -> bool
+(** Cheap magic check, used when mounting unidentified media. *)

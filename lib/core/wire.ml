@@ -1,0 +1,97 @@
+let get_u8 b off = Char.code (Bytes.get b off)
+let set_u8 b off v = Bytes.set b off (Char.chr (v land 0xff))
+let get_u16 b off = Bytes.get_uint16_le b off
+let set_u16 b off v = Bytes.set_uint16_le b off v
+
+let get_u32 b off = Int32.to_int (Bytes.get_int32_le b off) land 0xFFFFFFFF
+let set_u32 b off v = Bytes.set_int32_le b off (Int32.of_int v)
+
+let get_i64 b off = Bytes.get_int64_le b off
+let set_i64 b off v = Bytes.set_int64_le b off v
+
+(* Table-driven CRC-32 (IEEE 802.3 polynomial, reflected). *)
+let crc_table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref n in
+         for _ = 0 to 7 do
+           if !c land 1 = 1 then c := 0xEDB88320 lxor (!c lsr 1) else c := !c lsr 1
+         done;
+         !c))
+
+let crc32 b ~pos ~len =
+  let table = Lazy.force crc_table in
+  let c = ref 0xFFFFFFFF in
+  for i = pos to pos + len - 1 do
+    c := table.((!c lxor Char.code (Bytes.get b i)) land 0xff) lxor (!c lsr 8)
+  done;
+  !c lxor 0xFFFFFFFF
+
+module Enc = struct
+  type t = Buffer.t
+
+  let create ?(size = 64) () = Buffer.create size
+  let u8 t v = Buffer.add_char t (Char.chr (v land 0xff))
+
+  let u16 t v =
+    u8 t v;
+    u8 t (v lsr 8)
+
+  let u32 t v =
+    u16 t v;
+    u16 t (v lsr 16)
+
+  let i64 t v = Buffer.add_int64_le t v
+  let bytes t s = Buffer.add_string t s
+  let raw t b = Buffer.add_bytes t b
+  let contents = Buffer.contents
+  let length = Buffer.length
+end
+
+module Dec = struct
+  type t = { data : string; mutable pos : int }
+
+  let of_string data = { data; pos = 0 }
+
+  let need t n =
+    if t.pos + n > String.length t.data then
+      Error (Errors.Bad_record (Printf.sprintf "truncated payload at %d (+%d)" t.pos n))
+    else Ok ()
+
+  let ( let* ) = Errors.( let* )
+
+  let u8 t =
+    let* () = need t 1 in
+    let v = Char.code t.data.[t.pos] in
+    t.pos <- t.pos + 1;
+    Ok v
+
+  (* Multi-byte reads check the full width upfront so a failed decode never
+     half-advances the cursor. *)
+  let u16 t =
+    let* () = need t 2 in
+    let v = Char.code t.data.[t.pos] lor (Char.code t.data.[t.pos + 1] lsl 8) in
+    t.pos <- t.pos + 2;
+    Ok v
+
+  let u32 t =
+    let* () = need t 4 in
+    let* lo = u16 t in
+    let* hi = u16 t in
+    Ok (lo lor (hi lsl 16))
+
+  let i64 t =
+    let* () = need t 8 in
+    let v = String.get_int64_le t.data t.pos in
+    t.pos <- t.pos + 8;
+    Ok v
+
+  let bytes t n =
+    let* () = need t n in
+    let s = String.sub t.data t.pos n in
+    t.pos <- t.pos + n;
+    Ok s
+
+  let remaining t = String.length t.data - t.pos
+  let at_end t = remaining t = 0
+end

@@ -1,0 +1,47 @@
+(** Little-endian codecs and the block checksum.
+
+    All on-medium integers are little-endian. The CRC-32 (IEEE polynomial)
+    stored in every block trailer is how the server detects the random
+    corruption of section 2.3.2. *)
+
+val get_u8 : bytes -> int -> int
+val set_u8 : bytes -> int -> int -> unit
+val get_u16 : bytes -> int -> int
+val set_u16 : bytes -> int -> int -> unit
+val get_u32 : bytes -> int -> int
+val set_u32 : bytes -> int -> int -> unit
+val get_i64 : bytes -> int -> int64
+val set_i64 : bytes -> int -> int64 -> unit
+
+val crc32 : bytes -> pos:int -> len:int -> int
+(** CRC-32 of a byte range, returned as a non-negative 32-bit value. *)
+
+(** A growable byte buffer with the same primitive layout, for encoding
+    variable-size payloads. *)
+module Enc : sig
+  type t
+
+  val create : ?size:int -> unit -> t
+  val u8 : t -> int -> unit
+  val u16 : t -> int -> unit
+  val u32 : t -> int -> unit
+  val i64 : t -> int64 -> unit
+  val bytes : t -> string -> unit
+  val raw : t -> bytes -> unit
+  val contents : t -> string
+  val length : t -> int
+end
+
+(** A cursor for decoding payloads with range checking. *)
+module Dec : sig
+  type t
+
+  val of_string : string -> t
+  val u8 : t -> (int, Errors.t) result
+  val u16 : t -> (int, Errors.t) result
+  val u32 : t -> (int, Errors.t) result
+  val i64 : t -> (int64, Errors.t) result
+  val bytes : t -> int -> (string, Errors.t) result
+  val remaining : t -> int
+  val at_end : t -> bool
+end

@@ -1,0 +1,124 @@
+type op = Put of string * string | Remove of string
+
+type t = {
+  srv : Clio.Server.t;
+  log : Clio.Ids.logfile;
+  state : (string, string) Hashtbl.t;
+  mutable replayed : int;
+}
+
+type txn = {
+  store : t;
+  writes : (string, op) Hashtbl.t;  (* keyed by key: last write wins *)
+  mutable order : string list;  (* keys in first-write order, newest first *)
+  mutable committed : bool;
+}
+
+let ( let* ) = Clio.Errors.( let* )
+
+let encode_ops ops =
+  let enc = Clio.Wire.Enc.create () in
+  Clio.Wire.Enc.u16 enc (List.length ops);
+  List.iter
+    (fun op ->
+      match op with
+      | Put (k, v) ->
+        Clio.Wire.Enc.u8 enc 1;
+        Clio.Wire.Enc.u16 enc (String.length k);
+        Clio.Wire.Enc.bytes enc k;
+        Clio.Wire.Enc.u32 enc (String.length v);
+        Clio.Wire.Enc.bytes enc v
+      | Remove k ->
+        Clio.Wire.Enc.u8 enc 2;
+        Clio.Wire.Enc.u16 enc (String.length k);
+        Clio.Wire.Enc.bytes enc k)
+    ops;
+  Clio.Wire.Enc.contents enc
+
+let decode_ops payload =
+  let dec = Clio.Wire.Dec.of_string payload in
+  let* n = Clio.Wire.Dec.u16 dec in
+  let rec go i acc =
+    if i >= n then Ok (List.rev acc)
+    else
+      let* kind = Clio.Wire.Dec.u8 dec in
+      let* klen = Clio.Wire.Dec.u16 dec in
+      let* k = Clio.Wire.Dec.bytes dec klen in
+      match kind with
+      | 1 ->
+        let* vlen = Clio.Wire.Dec.u32 dec in
+        let* v = Clio.Wire.Dec.bytes dec vlen in
+        go (i + 1) (Put (k, v) :: acc)
+      | 2 -> go (i + 1) (Remove k :: acc)
+      | k -> Error (Clio.Errors.Bad_record (Printf.sprintf "unknown txn op %d" k))
+  in
+  go 0 []
+
+let apply_ops state ops =
+  List.iter
+    (fun op ->
+      match op with
+      | Put (k, v) -> Hashtbl.replace state k v
+      | Remove k -> Hashtbl.remove state k)
+    ops
+
+let create srv ~path =
+  let* log = Clio.Server.ensure_log srv path in
+  let t = { srv; log; state = Hashtbl.create 64; replayed = 0 } in
+  let* () =
+    Clio.Server.fold_entries srv ~log ~init:(Ok ()) (fun acc e ->
+        let* () = acc in
+        let* ops = decode_ops e.Clio.Reader.payload in
+        apply_ops t.state ops;
+        t.replayed <- t.replayed + 1;
+        Ok ())
+    |> Result.join
+  in
+  Ok t
+
+let get t k = Hashtbl.find_opt t.state k
+let keys t = Hashtbl.fold (fun k _ acc -> k :: acc) t.state [] |> List.sort compare
+let replayed t = t.replayed
+
+let begin_txn store =
+  { store; writes = Hashtbl.create 8; order = []; committed = false }
+
+let note_key txn k = if not (Hashtbl.mem txn.writes k) then txn.order <- k :: txn.order
+
+let put txn ~key v =
+  assert (not txn.committed);
+  note_key txn key;
+  Hashtbl.replace txn.writes key (Put (key, v))
+
+let remove txn ~key =
+  assert (not txn.committed);
+  note_key txn key;
+  Hashtbl.replace txn.writes key (Remove key)
+
+let find txn k =
+  match Hashtbl.find_opt txn.writes k with
+  | Some (Put (_, v)) -> Some v
+  | Some (Remove _) -> None
+  | None -> get txn.store k
+
+let ops_of txn = List.rev_map (fun k -> Hashtbl.find txn.writes k) txn.order
+
+let commit ?(force = true) txn =
+  if txn.committed then Error (Clio.Errors.Bad_record "transaction already committed")
+  else begin
+    let ops = ops_of txn in
+    if ops = [] then begin
+      txn.committed <- true;
+      Ok None
+    end
+    else begin
+      (* The single append is the commit point: the whole transaction is one
+         log entry. *)
+      let* ts = Clio.Server.append ~force txn.store.srv ~log:txn.store.log (encode_ops ops) in
+      apply_ops txn.store.state ops;
+      txn.committed <- true;
+      Ok ts
+    end
+  end
+
+let abort txn = txn.committed <- true

@@ -1,0 +1,44 @@
+(** Atomic update using log files for recovery — the extension the paper
+    announces in its conclusion ("we plan to implement atomic update of
+    (regular) files, using log files for recovery").
+
+    A transactional key-value store whose only persistent state is a redo
+    log: every committed transaction is exactly one log entry holding all
+    its writes. Atomicity falls out of the log service's entry semantics —
+    an entry is either fully durable or (if a crash truncated it) never
+    yielded by any reader — so there is no separate commit record, no undo,
+    and recovery is plain replay. Commits are forced writes ("log entries
+    are written synchronously to the log device when forced (such as on a
+    transaction commit)", section 2.3.1). *)
+
+type t
+type txn
+
+val create : Clio.Server.t -> path:string -> (t, Clio.Errors.t) result
+(** Open (or recover, by replay) the store whose redo log lives at [path]. *)
+
+val get : t -> string -> string option
+val keys : t -> string list
+
+val begin_txn : t -> txn
+(** Transactions see their own tentative writes; concurrent transactions
+    are isolated from each other until commit (last-committer-wins at the
+    key level — the store is a recovery demonstration, not a concurrency
+    -control one). *)
+
+val put : txn -> key:string -> string -> unit
+val remove : txn -> key:string -> unit
+val find : txn -> string -> string option
+(** Read through the transaction: tentative writes shadow the store. *)
+
+val commit : ?force:bool -> txn -> (int64 option, Clio.Errors.t) result
+(** Log all the transaction's writes as one entry ([force] defaults to
+    true), then apply them to the cached state. After [commit] returns, the
+    transaction is durable; if the process dies mid-commit, recovery sees
+    either all of it or none of it. A transaction can be committed once. *)
+
+val abort : txn -> unit
+(** Drop the tentative writes; nothing was ever logged. *)
+
+val replayed : t -> int
+(** Committed transactions folded in by {!create} — for tests. *)

@@ -1,0 +1,109 @@
+type outcome = Granted | Denied
+
+type event = {
+  principal : string;
+  action : string;
+  target : string;
+  outcome : outcome;
+}
+
+type record = { timestamp : int64; event : event }
+
+type t = { srv : Clio.Server.t; root : Clio.Ids.logfile }
+
+let ( let* ) = Clio.Errors.( let* )
+let audit_root = "/audit"
+
+let encode ev =
+  let enc = Clio.Wire.Enc.create () in
+  Clio.Wire.Enc.u8 enc (match ev.outcome with Granted -> 1 | Denied -> 0);
+  Clio.Wire.Enc.u16 enc (String.length ev.principal);
+  Clio.Wire.Enc.bytes enc ev.principal;
+  Clio.Wire.Enc.u16 enc (String.length ev.action);
+  Clio.Wire.Enc.bytes enc ev.action;
+  Clio.Wire.Enc.u16 enc (String.length ev.target);
+  Clio.Wire.Enc.bytes enc ev.target;
+  Clio.Wire.Enc.contents enc
+
+let decode payload =
+  let dec = Clio.Wire.Dec.of_string payload in
+  let* oc = Clio.Wire.Dec.u8 dec in
+  let* plen = Clio.Wire.Dec.u16 dec in
+  let* principal = Clio.Wire.Dec.bytes dec plen in
+  let* alen = Clio.Wire.Dec.u16 dec in
+  let* action = Clio.Wire.Dec.bytes dec alen in
+  let* tlen = Clio.Wire.Dec.u16 dec in
+  let* target = Clio.Wire.Dec.bytes dec tlen in
+  Ok { principal; action; target; outcome = (if oc = 1 then Granted else Denied) }
+
+let create srv =
+  let* root = Clio.Server.ensure_log srv audit_root in
+  Ok { srv; root }
+
+let log_event ?force t ev =
+  let* ts = Clio.Server.append_path ?force t.srv ~path:(audit_root ^ "/" ^ ev.principal) (encode ev) in
+  match ts with
+  | Some ts -> Ok ts
+  | None -> Error (Clio.Errors.Bad_record "audit requires timestamped entries")
+
+let principals t =
+  match Clio.Server.list_logs t.srv audit_root with
+  | Error _ -> []
+  | Ok ds -> List.map (fun d -> d.Clio.Catalog.name) ds
+
+let collect t ~log ~keep =
+  let* rev =
+    Clio.Server.fold_entries t.srv ~log ~init:(Ok []) (fun acc e ->
+        let* acc = acc in
+        let timestamp = Option.value e.Clio.Reader.timestamp ~default:0L in
+        let* event = decode e.Clio.Reader.payload in
+        let r = { timestamp; event } in
+        Ok (if keep r then r :: acc else acc))
+    |> Result.join
+  in
+  Ok (List.rev rev)
+
+let events_for t ~principal =
+  match Clio.Server.resolve t.srv (audit_root ^ "/" ^ principal) with
+  | Error (Clio.Errors.No_such_log _) -> Ok []
+  | Error e -> Error e
+  | Ok log -> collect t ~log ~keep:(fun _ -> true)
+
+let events_between t ~from_ts ~to_ts =
+  (* Jump to from_ts with the timestamp search, then scan while <= to_ts. *)
+  let* cursor = Clio.Server.cursor_at_time t.srv ~log:t.root from_ts in
+  let rec loop acc =
+    let* e = Clio.Server.next cursor in
+    match e with
+    | None -> Ok (List.rev acc)
+    | Some e -> (
+      let ts = Option.value e.Clio.Reader.timestamp ~default:0L in
+      if Int64.compare ts to_ts > 0 then Ok (List.rev acc)
+      else if Int64.compare ts from_ts < 0 then loop acc
+      else
+        let* event = decode e.Clio.Reader.payload in
+        loop ({ timestamp = ts; event } :: acc))
+  in
+  loop []
+
+let denial_bursts t ~principal ~window_us ~threshold =
+  let* records = events_for t ~principal in
+  let denials =
+    List.filter_map
+      (fun r -> match r.event.outcome with Denied -> Some r.timestamp | Granted -> None)
+      records
+    |> Array.of_list
+  in
+  let n = Array.length denials in
+  let hits = ref [] in
+  for i = 0 to n - threshold do
+    let j = i + threshold - 1 in
+    if Int64.compare (Int64.sub denials.(j) denials.(i)) window_us <= 0 then
+      hits := denials.(j) :: !hits
+  done;
+  Ok (List.rev !hits)
+
+let off_hours_activity t ~day_us ~work_start ~work_end =
+  collect t ~log:t.root ~keep:(fun r ->
+      let tod = Int64.rem r.timestamp day_us in
+      Int64.compare tod work_start < 0 || Int64.compare tod work_end >= 0)

@@ -1,0 +1,46 @@
+(** Security audit trails (section 1).
+
+    "A logged history can be examined to monitor for, and detect,
+    unauthorized or suspicious activity patterns that might represent
+    security violations" — with the write-once medium guaranteeing the trail
+    itself "cannot be circumvented or unduly compromised".
+
+    Events go to per-principal sublogs of "/audit", so both whole-system
+    sweeps (read "/audit") and per-principal investigations (read one
+    sublog) are efficient. Includes two detectors of the kind the paper
+    motivates: denial bursts and off-hours activity. *)
+
+type outcome = Granted | Denied
+
+type event = {
+  principal : string;
+  action : string;  (** e.g. "login", "open", "chmod" *)
+  target : string;  (** object acted upon *)
+  outcome : outcome;
+}
+
+type record = { timestamp : int64; event : event }
+
+type t
+
+val create : Clio.Server.t -> (t, Clio.Errors.t) result
+
+val log_event : ?force:bool -> t -> event -> (int64, Clio.Errors.t) result
+
+val principals : t -> string list
+
+val events_for : t -> principal:string -> (record list, Clio.Errors.t) result
+(** One principal's full trail (their sublog), oldest first. *)
+
+val events_between : t -> from_ts:int64 -> to_ts:int64 -> (record list, Clio.Errors.t) result
+(** System-wide trail slice, via the time search on "/audit". *)
+
+val denial_bursts :
+  t -> principal:string -> window_us:int64 -> threshold:int -> (int64 list, Clio.Errors.t) result
+(** Timestamps at which [threshold] denials from [principal] fell within one
+    [window_us] — a brute-force/guessing detector. *)
+
+val off_hours_activity :
+  t -> day_us:int64 -> work_start:int64 -> work_end:int64 -> (record list, Clio.Errors.t) result
+(** Events whose time-of-day (timestamp mod [day_us]) falls outside
+    [work_start, work_end). *)

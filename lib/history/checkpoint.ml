@@ -1,0 +1,49 @@
+type ('s, 'e) t = {
+  srv : Clio.Server.t;
+  log : Clio.Ids.logfile;
+  encode : 'e -> string;
+  decode : string -> ('e, Clio.Errors.t) result;
+  apply : 's -> 'e -> 's;
+  mutable cache : 's;
+}
+
+let ( let* ) = Clio.Errors.( let* )
+
+let fold_log srv ~log ~decode ~apply ~until init =
+  Clio.Server.fold_entries srv ~log ~init:(Ok init) (fun acc e ->
+      let* s = acc in
+      let in_range =
+        match (until, e.Clio.Reader.timestamp) with
+        | None, _ -> true
+        | Some t, Some ts -> Int64.compare ts t <= 0
+        | Some _, None -> true
+      in
+      if not in_range then Ok s
+      else
+        let* ev = decode e.Clio.Reader.payload in
+        Ok (apply s ev))
+  |> function
+  | Ok r -> r
+  | Error e -> Error e
+
+let create srv ~path ~encode ~decode ~apply ~init =
+  let* log = Clio.Server.ensure_log srv path in
+  let* cache = fold_log srv ~log ~decode ~apply ~until:None init in
+  Ok { srv; log; encode; decode; apply; cache }
+
+let server t = t.srv
+let log t = t.log
+let state t = t.cache
+
+let post ?force t ev =
+  let* ts = Clio.Server.append ?force t.srv ~log:t.log (t.encode ev) in
+  t.cache <- t.apply t.cache ev;
+  Ok ts
+
+let rebuild t ~init =
+  let* cache = fold_log t.srv ~log:t.log ~decode:t.decode ~apply:t.apply ~until:None init in
+  t.cache <- cache;
+  Ok ()
+
+let state_at t ~time ~init =
+  fold_log t.srv ~log:t.log ~decode:t.decode ~apply:t.apply ~until:(Some time) init

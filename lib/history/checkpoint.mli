@@ -1,0 +1,44 @@
+(** The history-based application pattern (section 4).
+
+    "A history-based application ... uses an underlying (append-only)
+    logging service for permanent storage, recording its entire persistent
+    state in one or more log files. The application's current state is an
+    (at least partially) cached summary of the contents of these log files.
+    This state can be completely reconstructed from the log files."
+
+    A [Checkpoint.t] captures that pattern once: applications declare an
+    event codec and a fold, post events (logged, then applied to the cached
+    state), and get reconstruction — both of the current state and of any
+    {e historical} state ("consistently access both a new version of an
+    object, and a previous version") — for free. *)
+
+type ('s, 'e) t
+
+val create :
+  Clio.Server.t ->
+  path:string ->
+  encode:('e -> string) ->
+  decode:(string -> ('e, Clio.Errors.t) result) ->
+  apply:('s -> 'e -> 's) ->
+  init:'s ->
+  (('s, 'e) t, Clio.Errors.t) result
+(** Opens (creating if needed) the log file at [path] and folds its existing
+    entries into the cached state — this {e is} the application's recovery
+    procedure. *)
+
+val server : ('s, 'e) t -> Clio.Server.t
+val log : ('s, 'e) t -> Clio.Ids.logfile
+
+val state : ('s, 'e) t -> 's
+(** The cached current state. *)
+
+val post : ?force:bool -> ('s, 'e) t -> 'e -> (int64 option, Clio.Errors.t) result
+(** Log the event, then fold it into the cache. [force] gives
+    transaction-commit durability. Returns the entry's timestamp. *)
+
+val rebuild : ('s, 'e) t -> init:'s -> (unit, Clio.Errors.t) result
+(** Discard the cache and re-fold the entire log (what a restart does). *)
+
+val state_at : ('s, 'e) t -> time:int64 -> init:'s -> ('s, Clio.Errors.t) result
+(** The state as of [time]: fold only events with timestamps ≤ [time].
+    History-based time travel. *)

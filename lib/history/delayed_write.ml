@@ -1,0 +1,91 @@
+type stats = {
+  updates : int;
+  flushed : int;
+  elided : int;
+  bytes_submitted : int;
+  bytes_logged : int;
+}
+
+type staged = { data : string; deadline : int64 }
+
+type t = {
+  srv : Clio.Server.t;
+  flush_delay_us : int64;
+  stage : (string, staged) Hashtbl.t;
+  mutable updates : int;
+  mutable flushed : int;
+  mutable elided : int;
+  mutable bytes_submitted : int;
+  mutable bytes_logged : int;
+}
+
+let ( let* ) = Clio.Errors.( let* )
+
+let create srv ~flush_delay_us =
+  {
+    srv;
+    flush_delay_us;
+    stage = Hashtbl.create 64;
+    updates = 0;
+    flushed = 0;
+    elided = 0;
+    bytes_submitted = 0;
+    bytes_logged = 0;
+  }
+
+let flush_one t path (s : staged) =
+  let* _ts = Clio.Server.append_path t.srv ~path s.data in
+  t.flushed <- t.flushed + 1;
+  t.bytes_logged <- t.bytes_logged + String.length s.data;
+  Ok ()
+
+let tick t ~now =
+  let due =
+    Hashtbl.fold
+      (fun path s acc -> if Int64.compare s.deadline now <= 0 then (path, s) :: acc else acc)
+      t.stage []
+  in
+  List.fold_left
+    (fun acc (path, s) ->
+      let* () = acc in
+      Hashtbl.remove t.stage path;
+      flush_one t path s)
+    (Ok ()) due
+
+let update t ~now ~path data =
+  let* () = tick t ~now in
+  t.updates <- t.updates + 1;
+  t.bytes_submitted <- t.bytes_submitted + String.length data;
+  (match Hashtbl.find_opt t.stage path with
+  | Some _ -> t.elided <- t.elided + 1 (* superseded before it aged out *)
+  | None -> ());
+  (* Keep the original deadline on supersede? No staged entry survives
+     longer than one delay from its FIRST pending write, bounding staleness:
+     reuse the existing deadline if present. *)
+  let deadline =
+    match Hashtbl.find_opt t.stage path with
+    | Some s -> s.deadline
+    | None -> Int64.add now t.flush_delay_us
+  in
+  Hashtbl.replace t.stage path { data; deadline };
+  Ok ()
+
+let flush_all t =
+  let all = Hashtbl.fold (fun path s acc -> (path, s) :: acc) t.stage [] in
+  List.fold_left
+    (fun acc (path, s) ->
+      let* () = acc in
+      Hashtbl.remove t.stage path;
+      flush_one t path s)
+    (Ok ()) all
+
+let pending t = Hashtbl.length t.stage
+
+let stats t =
+  {
+    updates = t.updates;
+    flushed = t.flushed;
+    elided = t.elided;
+    bytes_submitted = t.bytes_submitted;
+    bytes_logged = t.bytes_logged;
+  }

@@ -1,0 +1,38 @@
+(** Delayed-write staging for a history-based file server (section 4.1).
+
+    The paper's feasibility argument leans on Ousterhout's BSD measurements:
+    "more than 50% of newly-written information is deleted within 5
+    minutes. This suggests that with an appropriate delayed write (or a
+    'flush back') policy, most newly-written data will not lead to writes
+    to the log device."
+
+    This module is that policy: updates sit in a volatile staging buffer
+    for [flush_delay_us]; an update superseded before its deadline never
+    reaches the log. The elision statistics quantify the claim (see the
+    [ablate-delay] benchmark). *)
+
+type t
+
+type stats = {
+  updates : int;  (** updates submitted *)
+  flushed : int;  (** updates that reached the log *)
+  elided : int;  (** updates superseded while staged — never logged *)
+  bytes_submitted : int;
+  bytes_logged : int;
+}
+
+val create : Clio.Server.t -> flush_delay_us:int64 -> t
+
+val update : t -> now:int64 -> path:string -> string -> (unit, Clio.Errors.t) result
+(** Stage a whole-file update; flushes anything whose deadline has passed
+    first. A staged update to the same path is superseded (elided). *)
+
+val tick : t -> now:int64 -> (unit, Clio.Errors.t) result
+(** Flush every staged update whose deadline is ≤ [now]. *)
+
+val flush_all : t -> (unit, Clio.Errors.t) result
+(** Drain the stage (shutdown). Staged data is volatile until flushed —
+    exactly the delayed-write durability trade the paper accepts. *)
+
+val pending : t -> int
+val stats : t -> stats

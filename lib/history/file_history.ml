@@ -1,0 +1,133 @@
+type attrs = { mode : int; mtime : int64; size : int }
+
+type event = Write of string | Chmod of int | Remove
+
+type t = {
+  srv : Clio.Server.t;
+  root : string;
+  root_log : Clio.Ids.logfile;
+  cache : (string, string * attrs) Hashtbl.t;  (* live files only *)
+}
+
+let ( let* ) = Clio.Errors.( let* )
+
+let encode ev =
+  let enc = Clio.Wire.Enc.create () in
+  (match ev with
+  | Write data ->
+    Clio.Wire.Enc.u8 enc 1;
+    Clio.Wire.Enc.bytes enc data
+  | Chmod mode ->
+    Clio.Wire.Enc.u8 enc 2;
+    Clio.Wire.Enc.u16 enc mode
+  | Remove -> Clio.Wire.Enc.u8 enc 3);
+  Clio.Wire.Enc.contents enc
+
+let decode payload =
+  if String.length payload < 1 then Error (Clio.Errors.Bad_record "empty file event")
+  else
+    match payload.[0] with
+    | '\001' -> Ok (Write (String.sub payload 1 (String.length payload - 1)))
+    | '\002' ->
+      if String.length payload < 3 then Error (Clio.Errors.Bad_record "short chmod")
+      else Ok (Chmod (Clio.Wire.get_u16 (Bytes.of_string payload) 1))
+    | '\003' -> Ok Remove
+    | c -> Error (Clio.Errors.Bad_record (Printf.sprintf "unknown file event %d" (Char.code c)))
+
+let apply_event cache name ts = function
+  | Write data ->
+    let mode =
+      match Hashtbl.find_opt cache name with Some (_, a) -> a.mode | None -> 0o644
+    in
+    Hashtbl.replace cache name (data, { mode; mtime = ts; size = String.length data })
+  | Chmod mode -> (
+    match Hashtbl.find_opt cache name with
+    | Some (data, a) -> Hashtbl.replace cache name (data, { a with mode; mtime = ts })
+    | None -> ())
+  | Remove -> Hashtbl.remove cache name
+
+let file_name_of t (e : Clio.Reader.entry) =
+  let path = Clio.Server.path_of t.srv e.Clio.Reader.log in
+  let prefix = t.root ^ "/" in
+  let plen = String.length prefix in
+  if String.length path > plen && String.sub path 0 plen = prefix then
+    Some (String.sub path plen (String.length path - plen))
+  else None
+
+let replay t =
+  Hashtbl.reset t.cache;
+  let* () =
+    Clio.Server.fold_entries t.srv ~log:t.root_log ~init:(Ok ()) (fun acc e ->
+        let* () = acc in
+        match file_name_of t e with
+        | None -> Ok () (* not a per-file sublog entry *)
+        | Some name ->
+          let* ev = decode e.Clio.Reader.payload in
+          let ts = Option.value e.Clio.Reader.timestamp ~default:0L in
+          apply_event t.cache name ts ev;
+          Ok ())
+    |> function
+    | Ok r -> r
+    | Error e -> Error e
+  in
+  Ok ()
+
+let create srv ~root =
+  let* root_log = Clio.Server.ensure_log srv root in
+  let t = { srv; root; root_log; cache = Hashtbl.create 64 } in
+  let* () = replay t in
+  Ok t
+
+let refresh = replay
+
+let file_log t name = Clio.Server.ensure_log t.srv (t.root ^ "/" ^ name)
+
+let post ?force t name ev =
+  let* log = file_log t name in
+  let* ts = Clio.Server.append ?force t.srv ~log (encode ev) in
+  apply_event t.cache name (Option.value ts ~default:0L) ev;
+  Ok ()
+
+let write_file ?force t ~name data = post ?force t name (Write data)
+let set_mode t ~name mode = post t name (Chmod mode)
+let remove t ~name = post t name Remove
+
+let read_file t ~name =
+  match Hashtbl.find_opt t.cache name with
+  | Some (data, _) -> Ok data
+  | None -> Error (Clio.Errors.No_such_log name)
+
+let stat t ~name =
+  match Hashtbl.find_opt t.cache name with
+  | Some (_, a) -> Ok a
+  | None -> Error (Clio.Errors.No_such_log name)
+
+let list_files t =
+  Hashtbl.fold (fun name _ acc -> name :: acc) t.cache [] |> List.sort compare
+
+let fold_file_history t name ~init f =
+  match Clio.Server.resolve t.srv (t.root ^ "/" ^ name) with
+  | Error (Clio.Errors.No_such_log _) -> Ok init
+  | Error e -> Error e
+  | Ok log ->
+    Clio.Server.fold_entries t.srv ~log ~init:(Ok init) (fun acc e ->
+        let* s = acc in
+        let* ev = decode e.Clio.Reader.payload in
+        Ok (f s (Option.value e.Clio.Reader.timestamp ~default:0L) ev))
+    |> Result.join
+
+let read_file_at t ~name ~time =
+  fold_file_history t name ~init:None (fun current ts ev ->
+      if Int64.compare ts time > 0 then current
+      else
+        match ev with
+        | Write data -> Some data
+        | Remove -> None
+        | Chmod _ -> current)
+
+let versions t ~name =
+  let* rev =
+    fold_file_history t name ~init:[] (fun acc ts ev ->
+        match ev with Write _ -> ts :: acc | Chmod _ | Remove -> acc)
+  in
+  Ok (List.rev rev)

@@ -1,0 +1,45 @@
+(** A history-based file service (section 4.1).
+
+    "The file server maintains, in one or more log files, a file history for
+    each file that it stores. The file history includes all updates to the
+    contents and properties of files ... The file server can extract, from
+    the file history, either the current version of a file, or an earlier
+    version. (The contents of the current version are typically cached.)"
+
+    Each file's history is a sublog of the service root, so per-file version
+    scans are cheap (the sublog mechanism of section 2.1), while the root
+    log replays the whole namespace on recovery. Nothing is ever erased: a
+    removed file is a logged tombstone, and every earlier version remains
+    readable by time. *)
+
+type t
+
+type attrs = { mode : int; mtime : int64; size : int }
+
+val create : Clio.Server.t -> root:string -> (t, Clio.Errors.t) result
+(** Opens the service rooted at [root] (e.g. "/fs"), replaying any existing
+    history — creation and recovery are the same operation. *)
+
+val write_file : ?force:bool -> t -> name:string -> string -> (unit, Clio.Errors.t) result
+(** Store a new version of [name] (whole-file update, like most 1980s file
+    servers). *)
+
+val set_mode : t -> name:string -> int -> (unit, Clio.Errors.t) result
+val remove : t -> name:string -> (unit, Clio.Errors.t) result
+
+val read_file : t -> name:string -> (string, Clio.Errors.t) result
+(** Current version, from the cache. *)
+
+val stat : t -> name:string -> (attrs, Clio.Errors.t) result
+val list_files : t -> string list
+(** Live (non-removed) files, sorted. *)
+
+val read_file_at : t -> name:string -> time:int64 -> (string option, Clio.Errors.t) result
+(** The version that was current at [time]; [None] if the file did not exist
+    then. Reads only the file's own sublog. *)
+
+val versions : t -> name:string -> (int64 list, Clio.Errors.t) result
+(** Timestamps of all content versions, oldest first. *)
+
+val refresh : t -> (unit, Clio.Errors.t) result
+(** Drop the cache and replay — the recovery path, exposed for tests. *)

@@ -1,0 +1,152 @@
+type t = {
+  srv : Clio.Server.t;
+  root : string;
+  cache : (string, Buffer.t) Hashtbl.t;  (* working version contents *)
+}
+
+type event = Delta of int * string | Truncate of int | Seal
+
+let ( let* ) = Clio.Errors.( let* )
+
+let encode = function
+  | Delta (off, data) ->
+    let enc = Clio.Wire.Enc.create () in
+    Clio.Wire.Enc.u8 enc 1;
+    Clio.Wire.Enc.u32 enc off;
+    Clio.Wire.Enc.bytes enc data;
+    Clio.Wire.Enc.contents enc
+  | Truncate len ->
+    let enc = Clio.Wire.Enc.create () in
+    Clio.Wire.Enc.u8 enc 2;
+    Clio.Wire.Enc.u32 enc len;
+    Clio.Wire.Enc.contents enc
+  | Seal -> "\003"
+
+let decode payload =
+  if String.length payload < 1 then Error (Clio.Errors.Bad_record "empty logfs event")
+  else
+    let dec = Clio.Wire.Dec.of_string payload in
+    let* tag = Clio.Wire.Dec.u8 dec in
+    match tag with
+    | 1 ->
+      let* off = Clio.Wire.Dec.u32 dec in
+      let* data = Clio.Wire.Dec.bytes dec (Clio.Wire.Dec.remaining dec) in
+      Ok (Delta (off, data))
+    | 2 ->
+      let* len = Clio.Wire.Dec.u32 dec in
+      Ok (Truncate len)
+    | 3 -> Ok Seal
+    | t -> Error (Clio.Errors.Bad_record (Printf.sprintf "unknown logfs event %d" t))
+
+let apply buf = function
+  | Delta (off, data) ->
+    let cur = Buffer.contents buf in
+    let new_len = max (String.length cur) (off + String.length data) in
+    let b = Bytes.make new_len '\000' in
+    Bytes.blit_string cur 0 b 0 (String.length cur);
+    Bytes.blit_string data 0 b off (String.length data);
+    Buffer.clear buf;
+    Buffer.add_bytes buf b
+  | Truncate len ->
+    let cur = Buffer.contents buf in
+    let keep = String.sub cur 0 (min len (String.length cur)) in
+    Buffer.clear buf;
+    Buffer.add_string buf keep
+  | Seal -> ()
+
+let file_path t name = t.root ^ "/" ^ name
+
+(* Rebuild one file's working version from its sublog. *)
+let load_file t name =
+  let buf = Buffer.create 64 in
+  let* () =
+    match Clio.Server.resolve t.srv (file_path t name) with
+    | Error (Clio.Errors.No_such_log _) -> Ok ()
+    | Error e -> Error e
+    | Ok log ->
+      Clio.Server.fold_entries t.srv ~log ~init:(Ok ()) (fun acc e ->
+          let* () = acc in
+          let* ev = decode e.Clio.Reader.payload in
+          apply buf ev;
+          Ok ())
+      |> Result.join
+  in
+  Hashtbl.replace t.cache name buf;
+  Ok buf
+
+let create srv ~root =
+  let* _ = Clio.Server.ensure_log srv root in
+  let t = { srv; root; cache = Hashtbl.create 16 } in
+  (* Warm the cache for every existing file. *)
+  let* names = Clio.Server.list_logs srv root in
+  let* () =
+    List.fold_left
+      (fun acc d ->
+        let* () = acc in
+        let* _ = load_file t d.Clio.Catalog.name in
+        Ok ())
+      (Ok ()) names
+  in
+  Ok t
+
+let working t name =
+  match Hashtbl.find_opt t.cache name with
+  | Some buf -> Ok buf
+  | None -> load_file t name
+
+let post t name ev =
+  let* buf = working t name in
+  let* _ts = Clio.Server.append_path t.srv ~path:(file_path t name) (encode ev) in
+  apply buf ev;
+  Ok ()
+
+let write t ~name ~off data = post t name (Delta (off, data))
+let truncate t ~name len = post t name (Truncate len)
+
+let count_seals t name =
+  match Clio.Server.resolve t.srv (file_path t name) with
+  | Error (Clio.Errors.No_such_log _) -> Ok 0
+  | Error e -> Error e
+  | Ok log ->
+    Clio.Server.fold_entries t.srv ~log ~init:(Ok 0) (fun acc e ->
+        let* n = acc in
+        let* ev = decode e.Clio.Reader.payload in
+        Ok (match ev with Seal -> n + 1 | Delta _ | Truncate _ -> n))
+    |> Result.join
+
+let seal_version t ~name =
+  let* () = post t name Seal in
+  count_seals t name
+
+let versions t ~name = count_seals t name
+
+let read ?version t ~name =
+  match version with
+  | None ->
+    let* buf = working t name in
+    Ok (Buffer.contents buf)
+  | Some k ->
+    if k < 1 then Error (Clio.Errors.Bad_record "versions are 1-based")
+    else
+      let* log =
+        match Clio.Server.resolve t.srv (file_path t name) with
+        | Ok log -> Ok log
+        | Error (Clio.Errors.No_such_log _) -> Error Clio.Errors.No_entry
+        | Error e -> Error e
+      in
+      let buf = Buffer.create 64 in
+      let* seen =
+        Clio.Server.fold_entries t.srv ~log ~init:(Ok 0) (fun acc e ->
+            let* seen = acc in
+            if seen >= k then Ok seen
+            else
+              let* ev = decode e.Clio.Reader.payload in
+              apply buf ev;
+              Ok (match ev with Seal -> seen + 1 | Delta _ | Truncate _ -> seen))
+        |> Result.join
+      in
+      if seen < k then Error Clio.Errors.No_entry else Ok (Buffer.contents buf)
+
+let files t =
+  let* ds = Clio.Server.list_logs t.srv t.root in
+  Ok (List.map (fun d -> d.Clio.Catalog.name) ds |> List.sort compare)

@@ -1,0 +1,39 @@
+(** A CDFS-style fragmented-file store layered on log files (section 5.2).
+
+    The paper argues that "a general file system, such as CDFS, that has
+    been designed to use append-only storage, could be implemented on top of
+    our logging service ... by using a log file as its storage device. This
+    would allow the same (physical) device to be shared with other
+    applications." This module is that construction, including CDFS's
+    "fragmented files" extension: a version need only log the {e modified}
+    byte ranges (deltas), not the whole file.
+
+    Each file's deltas and version seals live in its own sublog of the
+    store root; reconstructing version [k] folds the deltas up to the k-th
+    seal. Because the substrate is a log file, the store coexists with any
+    other log files on the same volume sequence — the sharing claim. *)
+
+type t
+
+val create : Clio.Server.t -> root:string -> (t, Clio.Errors.t) result
+
+val write : t -> name:string -> off:int -> string -> (unit, Clio.Errors.t) result
+(** Log a delta: bytes [off, off+len) of the working version. Extends the
+    file if it writes past the current end. *)
+
+val truncate : t -> name:string -> int -> (unit, Clio.Errors.t) result
+(** Log a truncation of the working version to [len] bytes. *)
+
+val seal_version : t -> name:string -> (int, Clio.Errors.t) result
+(** Close the working version; subsequent deltas begin the next one.
+    Returns the sealed version's number (1-based). *)
+
+val versions : t -> name:string -> (int, Clio.Errors.t) result
+(** Sealed versions so far. *)
+
+val read : ?version:int -> t -> name:string -> (string, Clio.Errors.t) result
+(** [read t ~name] is the working version (all deltas); [~version:k] is the
+    state at the k-th seal. Reconstruction replays the file's sublog — the
+    current version is additionally cached. *)
+
+val files : t -> (string list, Clio.Errors.t) result

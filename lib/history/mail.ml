@@ -1,0 +1,105 @@
+type message = {
+  timestamp : int64;
+  sender : string;
+  subject : string;
+  body : string;
+}
+
+type agent_event = Mark_read of { mailbox : string; upto : int64 }
+
+type t = {
+  srv : Clio.Server.t;
+  agent : ((string, int64) Hashtbl.t, agent_event) Checkpoint.t;
+}
+
+let ( let* ) = Clio.Errors.( let* )
+let mail_root = "/mail"
+let agent_log = "/mailagent"
+
+let encode_message m =
+  let enc = Clio.Wire.Enc.create () in
+  Clio.Wire.Enc.u16 enc (String.length m.sender);
+  Clio.Wire.Enc.bytes enc m.sender;
+  Clio.Wire.Enc.u16 enc (String.length m.subject);
+  Clio.Wire.Enc.bytes enc m.subject;
+  Clio.Wire.Enc.u32 enc (String.length m.body);
+  Clio.Wire.Enc.bytes enc m.body;
+  Clio.Wire.Enc.contents enc
+
+let decode_message ~timestamp payload =
+  let dec = Clio.Wire.Dec.of_string payload in
+  let* slen = Clio.Wire.Dec.u16 dec in
+  let* sender = Clio.Wire.Dec.bytes dec slen in
+  let* jlen = Clio.Wire.Dec.u16 dec in
+  let* subject = Clio.Wire.Dec.bytes dec jlen in
+  let* blen = Clio.Wire.Dec.u32 dec in
+  let* body = Clio.Wire.Dec.bytes dec blen in
+  Ok { timestamp; sender; subject; body }
+
+let encode_agent (Mark_read { mailbox; upto }) =
+  let enc = Clio.Wire.Enc.create () in
+  Clio.Wire.Enc.u16 enc (String.length mailbox);
+  Clio.Wire.Enc.bytes enc mailbox;
+  Clio.Wire.Enc.i64 enc upto;
+  Clio.Wire.Enc.contents enc
+
+let decode_agent payload =
+  let dec = Clio.Wire.Dec.of_string payload in
+  let* mlen = Clio.Wire.Dec.u16 dec in
+  let* mailbox = Clio.Wire.Dec.bytes dec mlen in
+  let* upto = Clio.Wire.Dec.i64 dec in
+  Ok (Mark_read { mailbox; upto })
+
+let apply_agent table (Mark_read { mailbox; upto }) =
+  (match Hashtbl.find_opt table mailbox with
+  | Some cur when Int64.compare cur upto >= 0 -> ()
+  | Some _ | None -> Hashtbl.replace table mailbox upto);
+  table
+
+let create srv =
+  let* _root = Clio.Server.ensure_log srv mail_root in
+  let* agent =
+    Checkpoint.create srv ~path:agent_log ~encode:encode_agent ~decode:decode_agent
+      ~apply:apply_agent ~init:(Hashtbl.create 16)
+  in
+  Ok { srv; agent }
+
+let deliver ?force t ~mailbox ~sender ~subject ~body =
+  let payload = encode_message { timestamp = 0L; sender; subject; body } in
+  let* ts = Clio.Server.append_path ?force t.srv ~path:(mail_root ^ "/" ^ mailbox) payload in
+  match ts with
+  | Some ts -> Ok ts
+  | None -> Error (Clio.Errors.Bad_record "mail requires timestamped entries")
+
+let mailboxes t =
+  match Clio.Server.list_logs t.srv mail_root with
+  | Error _ -> []
+  | Ok ds -> List.map (fun d -> d.Clio.Catalog.name) ds
+
+let messages ?(since = Int64.min_int) t ~mailbox =
+  match Clio.Server.resolve t.srv (mail_root ^ "/" ^ mailbox) with
+  | Error (Clio.Errors.No_such_log _) -> Ok []
+  | Error e -> Error e
+  | Ok log ->
+    let* rev =
+      Clio.Server.fold_entries t.srv ~log ~init:(Ok []) (fun acc e ->
+          let* acc = acc in
+          let ts = Option.value e.Clio.Reader.timestamp ~default:0L in
+          if Int64.compare ts since <= 0 then Ok acc
+          else
+            let* m = decode_message ~timestamp:ts e.Clio.Reader.payload in
+            Ok (m :: acc))
+      |> Result.join
+    in
+    Ok (List.rev rev)
+
+let read_pointer t ~mailbox =
+  match Hashtbl.find_opt (Checkpoint.state t.agent) mailbox with
+  | Some ts -> ts
+  | None -> Int64.min_int
+
+let unread t ~mailbox = messages ~since:(read_pointer t ~mailbox) t ~mailbox
+
+let mark_read t ~mailbox ~upto =
+  let* _ts = Checkpoint.post t.agent (Mark_read { mailbox; upto }) in
+  Ok ()

@@ -1,0 +1,51 @@
+(** A history-based electronic-mail system (section 4.2).
+
+    "Associated with each mailbox is a log file corresponding to mail
+    messages that have been delivered to this mailbox. The local mail agent
+    maintains pointers into this 'mail history'. In addition, it caches
+    copies of mail messages from the history ... a user's mail messages are
+    permanently accessible, and the storage of the mail messages themselves
+    is decoupled from the mail system's directory management and query
+    facilities."
+
+    Mailboxes are sublogs of "/mail"; the agent's own mutable state (per-user
+    read pointers) is itself a log ("/mailagent"), so the whole system
+    recovers by replay. Messages are never deleted — "marking read" only
+    moves a pointer, as in Walnut. *)
+
+type message = {
+  timestamp : int64;  (** delivery time; unique id within the mailbox *)
+  sender : string;
+  subject : string;
+  body : string;
+}
+
+type t
+
+val create : Clio.Server.t -> (t, Clio.Errors.t) result
+(** Open (or recover) the mail system on a log server. *)
+
+val deliver :
+  ?force:bool ->
+  t ->
+  mailbox:string ->
+  sender:string ->
+  subject:string ->
+  body:string ->
+  (int64, Clio.Errors.t) result
+(** Append a message to a mailbox's history; returns its delivery
+    timestamp. *)
+
+val mailboxes : t -> string list
+
+val messages : ?since:int64 -> t -> mailbox:string -> (message list, Clio.Errors.t) result
+(** All messages (optionally delivered after [since]), oldest first —
+    straight off the mailbox sublog. *)
+
+val unread : t -> mailbox:string -> (message list, Clio.Errors.t) result
+(** Messages after the mailbox's read pointer. *)
+
+val mark_read : t -> mailbox:string -> upto:int64 -> (unit, Clio.Errors.t) result
+(** Advance the read pointer (logged, so it survives restarts). *)
+
+val read_pointer : t -> mailbox:string -> int64

@@ -1,0 +1,23 @@
+type t =
+  | Simulated of { mutable current : int64; tick : int64 }
+  | Wall
+
+let now = function
+  | Simulated s ->
+    let v = s.current in
+    s.current <- Int64.add s.current s.tick;
+    v
+  | Wall -> Int64.of_float (Unix.gettimeofday () *. 1e6)
+
+let advance t us =
+  match t with
+  | Simulated s -> s.current <- Int64.add s.current us
+  | Wall -> ()
+
+let peek = function
+  | Simulated s -> s.current
+  | Wall -> Int64.of_float (Unix.gettimeofday () *. 1e6)
+
+let simulated ?(start = 0L) ?(tick = 1L) () = Simulated { current = start; tick }
+
+let wall () = Wall

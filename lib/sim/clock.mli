@@ -1,0 +1,27 @@
+(** Time sources.
+
+    All Clio timestamps are microseconds since an arbitrary epoch, as
+    [int64]. The log server takes an explicit clock so tests and benchmarks
+    run on simulated time while the CLI uses wall-clock time. *)
+
+type t
+
+val now : t -> int64
+(** [now t] returns the current time in microseconds. On a simulated clock
+    each call advances time by the clock's tick, so successive timestamps are
+    strictly increasing (the paper relies on timestamp monotonicity within a
+    volume for time search). *)
+
+val advance : t -> int64 -> unit
+(** [advance t us] moves a simulated clock forward by [us] microseconds.
+    No-op on a wall clock. *)
+
+val peek : t -> int64
+(** [peek t] reads the current time without advancing a simulated clock. *)
+
+val simulated : ?start:int64 -> ?tick:int64 -> unit -> t
+(** [simulated ()] is a deterministic clock starting at [start] (default 0)
+    advancing by [tick] (default 1 microsecond) per [now] call. *)
+
+val wall : unit -> t
+(** [wall ()] reads [Unix.gettimeofday]. *)

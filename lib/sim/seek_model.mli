@@ -1,0 +1,35 @@
+(** Storage-device timing models.
+
+    The paper's evaluation reasons about the large cost asymmetry between a
+    cached block access (~0.6 ms), a magnetic-disk read (~30 ms average
+    seek) and an optical-disk read (~150 ms average seek, [Bell 84]). A
+    [Seek_model.t] converts a head movement plus a transfer into simulated
+    microseconds; {!Worm.Timed_device} charges these against a
+    {!Sim.Clock}. *)
+
+type t = {
+  name : string;
+  seek_us : dist:int -> int64;
+      (** Cost to move the head [dist] blocks (0 = already on track). *)
+  transfer_us : bytes:int -> int64;  (** Cost to transfer [bytes]. *)
+}
+
+val optical : t
+(** 12-inch write-once optical disk, average seek ~150 ms: modeled as
+    35 ms settle + distance-proportional sweep (2 ms track-to-track for
+    near-sequential movement), 0.6 MB/s transfer. *)
+
+val magnetic : t
+(** Magnetic disk of the era: average seek ~30 ms (1 ms track-to-track),
+    1 MB/s transfer. *)
+
+val ram : t
+(** Battery-backed RAM / main memory: no seek, 10 ns/byte. *)
+
+val uniform : name:string -> per_op_us:int64 -> t
+(** A flat per-operation cost, for controlled experiments. *)
+
+val average_seek_us : t -> capacity:int -> int64
+(** Monte-Carlo-free estimate of the mean seek cost over uniformly random
+    head movements on a device with [capacity] blocks (uses the expected
+    distance [capacity/3]). *)

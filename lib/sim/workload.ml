@@ -1,0 +1,83 @@
+type record = {
+  path : string;
+  payload : string;
+  gap_us : int64;
+  forced : bool;
+}
+
+let gap rng mean = Int64.of_float (Rng.exponential rng mean)
+
+let login_trace ~rng ~users ~events ~mean_gap_us =
+  (* Sessions alternate in/out per user; the record format mimics a wtmp
+     line: direction, user name, tty, padded to ~60 bytes so that with 1 KB
+     blocks c ~ 1/15 as measured in section 3.5. *)
+  let logged_in = Array.make users false in
+  let make _ =
+    let u = Rng.int rng users in
+    let dir = if logged_in.(u) then "out" else "in" in
+    logged_in.(u) <- not logged_in.(u);
+    let line = Printf.sprintf "%-3s user%04d tty%02d" dir u (Rng.int rng 32) in
+    let payload = line ^ String.make (max 0 (60 - String.length line)) ' ' in
+    {
+      path = Printf.sprintf "/usage/user%04d" u;
+      payload;
+      gap_us = gap rng mean_gap_us;
+      forced = false;
+    }
+  in
+  List.init events make
+
+let mail_trace ~rng ~mailboxes ~messages ~mean_body ~mean_gap_us =
+  let make i =
+    let u = Rng.int rng mailboxes in
+    let body_len = max 16 (int_of_float (Rng.exponential rng (float_of_int mean_body))) in
+    let header = Printf.sprintf "From: user%d@host\nSubject: msg %d\n\n" (Rng.int rng 64) i in
+    let body = String.init body_len (fun j -> Char.chr (97 + ((i + j) mod 26))) in
+    {
+      path = Printf.sprintf "/mail/user%03d" u;
+      payload = header ^ body;
+      gap_us = gap rng mean_gap_us;
+      forced = false;
+    }
+  in
+  List.init messages make
+
+let transaction_trace ~rng ~streams ~commits ~mean_update =
+  let make i =
+    let s = Rng.int rng streams in
+    let len = max 8 (int_of_float (Rng.exponential rng (float_of_int mean_update))) in
+    let payload =
+      Printf.sprintf "txn %08d " i ^ String.init len (fun j -> Char.chr (48 + ((i * 7 + j) mod 10)))
+    in
+    {
+      path = Printf.sprintf "/txn/stream%02d" s;
+      payload;
+      gap_us = gap rng 500.0;
+      forced = true;
+    }
+  in
+  List.init commits make
+
+let churn_trace ~rng ~files ~writes ~short_lived_fraction =
+  let make i =
+    let short = Rng.chance rng short_lived_fraction in
+    let f = if short then Rng.int rng (max 1 (files / 10)) else Rng.int rng files in
+    let payload = Printf.sprintf "update %d of file%04d %s" i f (String.make 40 'x') in
+    {
+      path = Printf.sprintf "/fs/file%04d" f;
+      payload;
+      gap_us = gap rng 2000.0;
+      forced = false;
+    }
+  in
+  List.init writes make
+
+let uniform_entries ~rng ~path ~count ~size =
+  let make i =
+    let payload = String.init size (fun j -> Char.chr (32 + ((i + j) mod 95))) in
+    { path; payload; gap_us = gap rng 100.0; forced = false }
+  in
+  List.init count make
+
+let total_payload records =
+  List.fold_left (fun acc r -> acc + String.length r.payload) 0 records

@@ -1,0 +1,53 @@
+(** Synthetic workload generators.
+
+    Each generator produces a deterministic stream of [record]s — (log path,
+    payload, inter-arrival time) triples — from an {!Rng.t} seed. These stand
+    in for the traces the paper measured (the V-System login/logout log of
+    section 3.5, mail delivery of section 4.2, transaction commits of
+    section 2.1, and the Ousterhout BSD trace characteristics cited in
+    section 4.1). *)
+
+type record = {
+  path : string;  (** target log file, as a slash-separated sublog path *)
+  payload : string;  (** client data bytes *)
+  gap_us : int64;  (** inter-arrival time before this record *)
+  forced : bool;  (** whether the client requires a synchronous force *)
+}
+
+val login_trace :
+  rng:Rng.t -> users:int -> events:int -> mean_gap_us:float -> record list
+(** Login/logout records as in section 3.5: small fixed-format entries
+    ("in"/"out", user, tty) written to per-user sublogs of "/usage". With
+    1 KB blocks the default record size gives c (entry/block ratio) close to
+    the paper's measured 1/15, and the user count controls a (active files
+    per entrymap entry). *)
+
+val mail_trace :
+  rng:Rng.t ->
+  mailboxes:int ->
+  messages:int ->
+  mean_body:int ->
+  mean_gap_us:float ->
+  record list
+(** Mail deliveries to "/mail/<user>" sublogs (section 4.2): bodies are
+    exponentially sized around [mean_body]. *)
+
+val transaction_trace :
+  rng:Rng.t -> streams:int -> commits:int -> mean_update:int -> record list
+(** Database-style transaction logging (section 2.1): every commit record is
+    forced (synchronous), exercising the forced-write / internal
+    fragmentation path. *)
+
+val churn_trace :
+  rng:Rng.t -> files:int -> writes:int -> short_lived_fraction:float -> record list
+(** File-update records in the style of Ousterhout's BSD analysis cited in
+    section 4.1: a [short_lived_fraction] of writes go to files that are
+    immediately superseded (candidates for delayed-write elision). *)
+
+val uniform_entries :
+  rng:Rng.t -> path:string -> count:int -> size:int -> record list
+(** [count] equal-sized entries to one log file; the building block for the
+    evaluation-section micro-benchmarks. *)
+
+val total_payload : record list -> int
+(** Sum of payload sizes, for space-overhead accounting. *)

@@ -1,0 +1,70 @@
+type t = { transport : Transport.t }
+type cursor = { client : t; id : int }
+
+let connect transport = { transport }
+
+let ( let* ) r f = match r with Ok v -> f v | Error _ as e -> e
+
+let call t req =
+  let raw = Transport.call t.transport (Message.encode_request req) in
+  match Message.decode_response raw with
+  | Ok (Message.R_error msg) -> Error msg
+  | Ok r -> Ok r
+  | Error e -> Error (Clio.Errors.to_string e)
+
+let protocol_error = Error "protocol error: unexpected response shape"
+
+let expect_id t req =
+  let* r = call t req in
+  match r with Message.R_id id -> Ok id | _ -> protocol_error
+
+let expect_unit t req =
+  let* r = call t req in
+  match r with Message.R_unit -> Ok () | _ -> protocol_error
+
+let expect_entry t req =
+  let* r = call t req in
+  match r with Message.R_entry e -> Ok e | _ -> protocol_error
+
+let create_log ?(perms = 0o644) t path = expect_id t (Message.Create_log { path; perms })
+let ensure_log ?(perms = 0o644) t path = expect_id t (Message.Ensure_log { path; perms })
+let resolve t path = expect_id t (Message.Resolve path)
+
+let path_of t id =
+  let* r = call t (Message.Path_of id) in
+  match r with Message.R_path p -> Ok p | _ -> protocol_error
+
+let list_logs t path =
+  let* r = call t (Message.List_logs path) in
+  match r with Message.R_names names -> Ok names | _ -> protocol_error
+
+let set_perms t ~log perms = expect_unit t (Message.Set_perms { log; perms })
+
+let append ?(extra_members = []) ?(force = false) t ~log data =
+  let* r = call t (Message.Append { log; extra_members; force; data }) in
+  match r with Message.R_timestamp ts -> Ok ts | _ -> protocol_error
+
+let force t = expect_unit t Message.Force
+
+let open_cursor t ~log whence =
+  let* id = expect_id t (Message.Open_cursor { log; whence }) in
+  Ok { client = t; id }
+
+let next c = expect_entry c.client (Message.Next c.id)
+let prev c = expect_entry c.client (Message.Prev c.id)
+let close_cursor c = expect_unit c.client (Message.Close_cursor c.id)
+
+let entry_at_or_after t ~log ts = expect_entry t (Message.Entry_at_or_after { log; ts })
+let entry_before t ~log ts = expect_entry t (Message.Entry_before { log; ts })
+
+let fold_entries t ~log ~init f =
+  let* c = open_cursor t ~log Message.From_start in
+  let rec go acc =
+    let* e = next c in
+    match e with
+    | Some e -> go (f acc e)
+    | None ->
+      let* () = close_cursor c in
+      Ok acc
+  in
+  go init

@@ -1,0 +1,43 @@
+(** Typed client stubs over a {!Transport.t} — the application's view of a
+    remote log server, mirroring the {!Clio.Server} surface. Clients never
+    see server internals; everything crosses the wire, with the transport
+    charging the modeled IPC cost of section 3.2. *)
+
+type t
+
+val connect : Transport.t -> t
+
+(** A remote cursor: closes explicitly (or leaks on the server, as in the
+    paper's era). *)
+type cursor
+
+val create_log : ?perms:int -> t -> string -> (Clio.Ids.logfile, string) result
+val ensure_log : ?perms:int -> t -> string -> (Clio.Ids.logfile, string) result
+val resolve : t -> string -> (Clio.Ids.logfile, string) result
+val path_of : t -> Clio.Ids.logfile -> (string, string) result
+val list_logs : t -> string -> ((int * string * int) list, string) result
+val set_perms : t -> log:Clio.Ids.logfile -> int -> (unit, string) result
+
+val append :
+  ?extra_members:Clio.Ids.logfile list ->
+  ?force:bool ->
+  t ->
+  log:Clio.Ids.logfile ->
+  string ->
+  (int64 option, string) result
+
+val force : t -> (unit, string) result
+
+val open_cursor : t -> log:Clio.Ids.logfile -> Message.whence -> (cursor, string) result
+val next : cursor -> (Message.entry option, string) result
+val prev : cursor -> (Message.entry option, string) result
+val close_cursor : cursor -> (unit, string) result
+
+val entry_at_or_after :
+  t -> log:Clio.Ids.logfile -> int64 -> (Message.entry option, string) result
+
+val entry_before : t -> log:Clio.Ids.logfile -> int64 -> (Message.entry option, string) result
+
+val fold_entries :
+  t -> log:Clio.Ids.logfile -> init:'a -> ('a -> Message.entry -> 'a) -> ('a, string) result
+(** Convenience forward fold (one RPC per entry — the V-era cost model). *)

@@ -1,0 +1,249 @@
+type whence = From_start | From_end | From_time of int64
+
+type request =
+  | Create_log of { path : string; perms : int }
+  | Ensure_log of { path : string; perms : int }
+  | Resolve of string
+  | Path_of of Clio.Ids.logfile
+  | List_logs of string
+  | Set_perms of { log : Clio.Ids.logfile; perms : int }
+  | Append of {
+      log : Clio.Ids.logfile;
+      extra_members : Clio.Ids.logfile list;
+      force : bool;
+      data : string;
+    }
+  | Force
+  | Open_cursor of { log : Clio.Ids.logfile; whence : whence }
+  | Next of int
+  | Prev of int
+  | Close_cursor of int
+  | Entry_at_or_after of { log : Clio.Ids.logfile; ts : int64 }
+  | Entry_before of { log : Clio.Ids.logfile; ts : int64 }
+
+type entry = {
+  log : Clio.Ids.logfile;
+  timestamp : int64 option;
+  payload : string;
+}
+
+type response =
+  | R_unit
+  | R_id of int
+  | R_path of string
+  | R_names of (int * string * int) list
+  | R_timestamp of int64 option
+  | R_entry of entry option
+  | R_error of string
+
+let ( let* ) = Clio.Errors.( let* )
+
+module E = Clio.Wire.Enc
+module D = Clio.Wire.Dec
+
+let put_string enc s =
+  E.u32 enc (String.length s);
+  E.bytes enc s
+
+let get_string dec =
+  let* n = D.u32 dec in
+  D.bytes dec n
+
+let put_ts_opt enc = function
+  | None -> E.u8 enc 0
+  | Some ts ->
+    E.u8 enc 1;
+    E.i64 enc ts
+
+let get_ts_opt dec =
+  let* tag = D.u8 dec in
+  if tag = 0 then Ok None
+  else
+    let* ts = D.i64 dec in
+    Ok (Some ts)
+
+let encode_request r =
+  let enc = E.create () in
+  (match r with
+  | Create_log { path; perms } ->
+    E.u8 enc 1;
+    E.u16 enc perms;
+    put_string enc path
+  | Ensure_log { path; perms } ->
+    E.u8 enc 2;
+    E.u16 enc perms;
+    put_string enc path
+  | Resolve path ->
+    E.u8 enc 3;
+    put_string enc path
+  | Path_of id ->
+    E.u8 enc 4;
+    E.u16 enc id
+  | List_logs path ->
+    E.u8 enc 5;
+    put_string enc path
+  | Set_perms { log; perms } ->
+    E.u8 enc 6;
+    E.u16 enc log;
+    E.u16 enc perms
+  | Append { log; extra_members; force; data } ->
+    E.u8 enc 7;
+    E.u16 enc log;
+    E.u8 enc (if force then 1 else 0);
+    E.u8 enc (List.length extra_members);
+    List.iter (fun id -> E.u16 enc id) extra_members;
+    put_string enc data
+  | Force -> E.u8 enc 8
+  | Open_cursor { log; whence } ->
+    E.u8 enc 9;
+    E.u16 enc log;
+    (match whence with
+    | From_start -> E.u8 enc 0
+    | From_end -> E.u8 enc 1
+    | From_time ts ->
+      E.u8 enc 2;
+      E.i64 enc ts)
+  | Next c ->
+    E.u8 enc 10;
+    E.u32 enc c
+  | Prev c ->
+    E.u8 enc 11;
+    E.u32 enc c
+  | Close_cursor c ->
+    E.u8 enc 12;
+    E.u32 enc c
+  | Entry_at_or_after { log; ts } ->
+    E.u8 enc 13;
+    E.u16 enc log;
+    E.i64 enc ts
+  | Entry_before { log; ts } ->
+    E.u8 enc 14;
+    E.u16 enc log;
+    E.i64 enc ts);
+  E.contents enc
+
+let decode_request s =
+  let dec = D.of_string s in
+  let* tag = D.u8 dec in
+  match tag with
+  | 1 | 2 ->
+    let* perms = D.u16 dec in
+    let* path = get_string dec in
+    Ok (if tag = 1 then Create_log { path; perms } else Ensure_log { path; perms })
+  | 3 ->
+    let* path = get_string dec in
+    Ok (Resolve path)
+  | 4 ->
+    let* id = D.u16 dec in
+    Ok (Path_of id)
+  | 5 ->
+    let* path = get_string dec in
+    Ok (List_logs path)
+  | 6 ->
+    let* log = D.u16 dec in
+    let* perms = D.u16 dec in
+    Ok (Set_perms { log; perms })
+  | 7 ->
+    let* log = D.u16 dec in
+    let* force = D.u8 dec in
+    let* n = D.u8 dec in
+    let rec ids i acc =
+      if i >= n then Ok (List.rev acc)
+      else
+        let* id = D.u16 dec in
+        ids (i + 1) (id :: acc)
+    in
+    let* extra_members = ids 0 [] in
+    let* data = get_string dec in
+    Ok (Append { log; extra_members; force = force = 1; data })
+  | 8 -> Ok Force
+  | 9 ->
+    let* log = D.u16 dec in
+    let* w = D.u8 dec in
+    let* whence =
+      match w with
+      | 0 -> Ok From_start
+      | 1 -> Ok From_end
+      | 2 ->
+        let* ts = D.i64 dec in
+        Ok (From_time ts)
+      | _ -> Error (Clio.Errors.Bad_record "bad whence")
+    in
+    Ok (Open_cursor { log; whence })
+  | 10 | 11 | 12 ->
+    let* c = D.u32 dec in
+    Ok (match tag with 10 -> Next c | 11 -> Prev c | _ -> Close_cursor c)
+  | 13 | 14 ->
+    let* log = D.u16 dec in
+    let* ts = D.i64 dec in
+    Ok (if tag = 13 then Entry_at_or_after { log; ts } else Entry_before { log; ts })
+  | t -> Error (Clio.Errors.Bad_record (Printf.sprintf "unknown request tag %d" t))
+
+let encode_response r =
+  let enc = E.create () in
+  (match r with
+  | R_unit -> E.u8 enc 1
+  | R_id id ->
+    E.u8 enc 2;
+    E.u32 enc id
+  | R_path p ->
+    E.u8 enc 3;
+    put_string enc p
+  | R_names names ->
+    E.u8 enc 4;
+    E.u16 enc (List.length names);
+    List.iter
+      (fun (id, name, perms) ->
+        E.u16 enc id;
+        E.u16 enc perms;
+        put_string enc name)
+      names
+  | R_timestamp ts ->
+    E.u8 enc 5;
+    put_ts_opt enc ts
+  | R_entry None -> E.u8 enc 6
+  | R_entry (Some e) ->
+    E.u8 enc 7;
+    E.u16 enc e.log;
+    put_ts_opt enc e.timestamp;
+    put_string enc e.payload
+  | R_error msg ->
+    E.u8 enc 8;
+    put_string enc msg);
+  E.contents enc
+
+let decode_response s =
+  let dec = D.of_string s in
+  let* tag = D.u8 dec in
+  match tag with
+  | 1 -> Ok R_unit
+  | 2 ->
+    let* id = D.u32 dec in
+    Ok (R_id id)
+  | 3 ->
+    let* p = get_string dec in
+    Ok (R_path p)
+  | 4 ->
+    let* n = D.u16 dec in
+    let rec names i acc =
+      if i >= n then Ok (R_names (List.rev acc))
+      else
+        let* id = D.u16 dec in
+        let* perms = D.u16 dec in
+        let* name = get_string dec in
+        names (i + 1) ((id, name, perms) :: acc)
+    in
+    names 0 []
+  | 5 ->
+    let* ts = get_ts_opt dec in
+    Ok (R_timestamp ts)
+  | 6 -> Ok (R_entry None)
+  | 7 ->
+    let* log = D.u16 dec in
+    let* timestamp = get_ts_opt dec in
+    let* payload = get_string dec in
+    Ok (R_entry (Some { log; timestamp; payload }))
+  | 8 ->
+    let* msg = get_string dec in
+    Ok (R_error msg)
+  | t -> Error (Clio.Errors.Bad_record (Printf.sprintf "unknown response tag %d" t))

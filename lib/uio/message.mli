@@ -1,0 +1,56 @@
+(** The client-server message protocol.
+
+    The paper's Clio is reached through the V-System's uniform I/O
+    interface: "log files are named using the standard file directory
+    mechanism, and are accessed and managed using the same I/O and utility
+    routines that are used to access and manage conventional files" — i.e.
+    clients talk to the log server over IPC. This module is that protocol:
+    a binary request/response codec covering the whole public surface
+    (naming, appending, cursors, time search), so a client needs only a
+    transport, not the server's address space.
+
+    Cursors are server-side state named by small integers, as V-style
+    file-access protocols did. *)
+
+type whence = From_start | From_end | From_time of int64
+
+type request =
+  | Create_log of { path : string; perms : int }
+  | Ensure_log of { path : string; perms : int }
+  | Resolve of string
+  | Path_of of Clio.Ids.logfile
+  | List_logs of string
+  | Set_perms of { log : Clio.Ids.logfile; perms : int }
+  | Append of {
+      log : Clio.Ids.logfile;
+      extra_members : Clio.Ids.logfile list;
+      force : bool;
+      data : string;
+    }
+  | Force
+  | Open_cursor of { log : Clio.Ids.logfile; whence : whence }
+  | Next of int
+  | Prev of int
+  | Close_cursor of int
+  | Entry_at_or_after of { log : Clio.Ids.logfile; ts : int64 }
+  | Entry_before of { log : Clio.Ids.logfile; ts : int64 }
+
+type entry = {
+  log : Clio.Ids.logfile;
+  timestamp : int64 option;
+  payload : string;
+}
+
+type response =
+  | R_unit
+  | R_id of int
+  | R_path of string
+  | R_names of (int * string * int) list  (** (id, name, perms) *)
+  | R_timestamp of int64 option
+  | R_entry of entry option
+  | R_error of string
+
+val encode_request : request -> string
+val decode_request : string -> (request, Clio.Errors.t) result
+val encode_response : response -> string
+val decode_response : string -> (response, Clio.Errors.t) result

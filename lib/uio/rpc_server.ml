@@ -1,0 +1,79 @@
+type t = {
+  srv : Clio.Server.t;
+  cursors : (int, Clio.Reader.cursor) Hashtbl.t;
+  mutable next_cursor : int;
+}
+
+let create srv = { srv; cursors = Hashtbl.create 16; next_cursor = 1 }
+
+let entry_of (e : Clio.Reader.entry) =
+  {
+    Message.log = e.Clio.Reader.log;
+    timestamp = e.Clio.Reader.timestamp;
+    payload = e.Clio.Reader.payload;
+  }
+
+let reply_result r f =
+  match r with Ok v -> f v | Error e -> Message.R_error (Clio.Errors.to_string e)
+
+let run t (req : Message.request) : Message.response =
+  match req with
+  | Message.Create_log { path; perms } ->
+    reply_result (Clio.Server.create_log ~perms t.srv path) (fun id -> Message.R_id id)
+  | Message.Ensure_log { path; perms } ->
+    reply_result (Clio.Server.ensure_log ~perms t.srv path) (fun id -> Message.R_id id)
+  | Message.Resolve path ->
+    reply_result (Clio.Server.resolve t.srv path) (fun id -> Message.R_id id)
+  | Message.Path_of id -> Message.R_path (Clio.Server.path_of t.srv id)
+  | Message.List_logs path ->
+    reply_result (Clio.Server.list_logs t.srv path) (fun ds ->
+        Message.R_names
+          (List.map (fun d -> (d.Clio.Catalog.id, d.Clio.Catalog.name, d.Clio.Catalog.perms)) ds))
+  | Message.Set_perms { log; perms } ->
+    reply_result (Clio.Server.set_perms t.srv ~log perms) (fun () -> Message.R_unit)
+  | Message.Append { log; extra_members; force; data } ->
+    reply_result
+      (Clio.Server.append ~extra_members ~force t.srv ~log data)
+      (fun ts -> Message.R_timestamp ts)
+  | Message.Force -> reply_result (Clio.Server.force t.srv) (fun () -> Message.R_unit)
+  | Message.Open_cursor { log; whence } ->
+    let cursor =
+      match whence with
+      | Message.From_start -> Ok (Clio.Server.cursor_start t.srv ~log)
+      | Message.From_end -> Clio.Server.cursor_end t.srv ~log
+      | Message.From_time ts -> Clio.Server.cursor_at_time t.srv ~log ts
+    in
+    reply_result cursor (fun c ->
+        let id = t.next_cursor in
+        t.next_cursor <- id + 1;
+        Hashtbl.replace t.cursors id c;
+        Message.R_id id)
+  | Message.Next cid -> (
+    match Hashtbl.find_opt t.cursors cid with
+    | None -> Message.R_error "no such cursor"
+    | Some c ->
+      reply_result (Clio.Server.next c) (fun e -> Message.R_entry (Option.map entry_of e)))
+  | Message.Prev cid -> (
+    match Hashtbl.find_opt t.cursors cid with
+    | None -> Message.R_error "no such cursor"
+    | Some c ->
+      reply_result (Clio.Server.prev c) (fun e -> Message.R_entry (Option.map entry_of e)))
+  | Message.Close_cursor cid ->
+    Hashtbl.remove t.cursors cid;
+    Message.R_unit
+  | Message.Entry_at_or_after { log; ts } ->
+    reply_result (Clio.Server.entry_at_or_after t.srv ~log ts) (fun e ->
+        Message.R_entry (Option.map entry_of e))
+  | Message.Entry_before { log; ts } ->
+    reply_result (Clio.Server.entry_before t.srv ~log ts) (fun e ->
+        Message.R_entry (Option.map entry_of e))
+
+let handle t raw =
+  let response =
+    match Message.decode_request raw with
+    | Error e -> Message.R_error (Clio.Errors.to_string e)
+    | Ok req -> ( try run t req with exn -> Message.R_error (Printexc.to_string exn))
+  in
+  Message.encode_response response
+
+let open_cursors t = Hashtbl.length t.cursors

@@ -1,0 +1,14 @@
+(** Server-side dispatcher: decodes requests, runs them against a
+    {!Clio.Server.t}, encodes responses. Cursors are kept in a server-side
+    table keyed by small integers (closed explicitly or leaked until the
+    server dies, as in the V-System). *)
+
+type t
+
+val create : Clio.Server.t -> t
+
+val handle : t -> string -> string
+(** Total: malformed requests and failed operations come back as
+    [R_error]; [handle] never raises. *)
+
+val open_cursors : t -> int

@@ -1,0 +1,23 @@
+type t = {
+  handler : string -> string;
+  latency_us : int64;
+  clock : Sim.Clock.t;
+  mutable round_trips : int;
+  mutable bytes_sent : int;
+  mutable bytes_received : int;
+}
+
+let local ?(latency_us = 0L) ~clock handler =
+  { handler; latency_us; clock; round_trips = 0; bytes_sent = 0; bytes_received = 0 }
+
+let call t request =
+  t.round_trips <- t.round_trips + 1;
+  t.bytes_sent <- t.bytes_sent + String.length request;
+  Sim.Clock.advance t.clock t.latency_us;
+  let response = t.handler request in
+  t.bytes_received <- t.bytes_received + String.length response;
+  response
+
+let round_trips t = t.round_trips
+let bytes_sent t = t.bytes_sent
+let bytes_received t = t.bytes_received

@@ -1,0 +1,22 @@
+(** Request/response transports.
+
+    The paper measures its writes through the V-System IPC: "0.5 ms-1 ms
+    were taken up by the basic synchronous client-server IPC (write)
+    operation. The corresponding time for an IPC operation between
+    different workstations is 2.5 ms-3 ms." A transport carries one
+    request's bytes to a handler and the response's bytes back, charging a
+    modeled round-trip cost against a simulated clock, so benches can put
+    the paper's IPC constants back into the totals. *)
+
+type t
+
+val local :
+  ?latency_us:int64 -> clock:Sim.Clock.t -> (string -> string) -> t
+(** In-process loopback to [handler], charging [latency_us] (default 0)
+    per round trip. Use 500–1000 for the paper's same-machine IPC, and
+    2500–3000 for its cross-workstation IPC. *)
+
+val call : t -> string -> string
+val round_trips : t -> int
+val bytes_sent : t -> int
+val bytes_received : t -> int

@@ -1,0 +1,37 @@
+type error =
+  | Out_of_space
+  | Write_once_violation
+  | Unwritten of int
+  | Bad_block of int
+  | Out_of_range of int
+  | Wrong_size of int
+  | Io_error of string
+
+let pp_error ppf = function
+  | Out_of_space -> Format.fprintf ppf "out of space"
+  | Write_once_violation -> Format.fprintf ppf "write-once violation"
+  | Unwritten b -> Format.fprintf ppf "block %d unwritten" b
+  | Bad_block b -> Format.fprintf ppf "block %d is bad" b
+  | Out_of_range b -> Format.fprintf ppf "block %d out of range" b
+  | Wrong_size n -> Format.fprintf ppf "buffer size %d differs from block size" n
+  | Io_error msg -> Format.fprintf ppf "i/o error: %s" msg
+
+let error_to_string e = Format.asprintf "%a" pp_error e
+
+type t = {
+  block_size : int;
+  capacity : int;
+  read : int -> (bytes, error) result;
+  append : bytes -> (int, error) result;
+  invalidate : int -> (unit, error) result;
+  frontier : unit -> int option;
+  flush : unit -> (unit, error) result;
+  stats : Dev_stats.t;
+}
+
+let is_invalidated_pattern b =
+  let n = Bytes.length b in
+  let rec go i = i >= n || (Bytes.get b i = '\xff' && go (i + 1)) in
+  go 0
+
+let invalidated_block size = Bytes.make size '\xff'

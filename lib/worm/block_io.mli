@@ -1,0 +1,55 @@
+(** The log-device abstraction.
+
+    The paper requires only that a log device be "a non-volatile,
+    block-oriented storage device that supports random access for reading,
+    and append-only write access" (section 2). A [Block_io.t] is a record of
+    operations so wrappers (timing, caching, fault injection) compose without
+    functor plumbing.
+
+    Semantics every implementation must obey:
+    - blocks are written exactly once, in strictly increasing order, at the
+      current frontier;
+    - a written block's contents never change, except that any block may be
+      {e invalidated} — overwritten with all 1s (0xFF), which write-once
+      media permit physically (section 2.3.2);
+    - reads of never-written blocks fail with [Unwritten];
+    - reads of invalidated blocks succeed and return all-0xFF bytes. *)
+
+type error =
+  | Out_of_space  (** the volume is full; mount a successor volume *)
+  | Write_once_violation  (** attempted rewrite of a written block *)
+  | Unwritten of int  (** read of a never-written block *)
+  | Bad_block of int  (** the medium is damaged at this block *)
+  | Out_of_range of int  (** block index outside [\[0, capacity)] *)
+  | Wrong_size of int  (** buffer length differs from the block size *)
+  | Io_error of string
+
+val pp_error : Format.formatter -> error -> unit
+val error_to_string : error -> string
+
+type t = {
+  block_size : int;
+  capacity : int;  (** total blocks on the medium *)
+  read : int -> (bytes, error) result;
+      (** [read idx] returns a fresh or shared buffer holding block [idx].
+          Callers must not mutate it. *)
+  append : bytes -> (int, error) result;
+      (** [append data] writes [data] (exactly [block_size] bytes) at the
+          frontier and returns the block index used. *)
+  invalidate : int -> (unit, error) result;
+      (** [invalidate idx] burns block [idx] to all 1s. Permitted on written,
+          unwritten and bad blocks; an invalidated block at or beyond the
+          frontier is skipped by subsequent appends. *)
+  frontier : unit -> int option;
+      (** [frontier ()] returns the next block an append would use, or [None]
+          if the device cannot report it (forcing the binary search of
+          section 2.3.1 during recovery). *)
+  flush : unit -> (unit, error) result;
+  stats : Dev_stats.t;
+}
+
+val is_invalidated_pattern : bytes -> bool
+(** [is_invalidated_pattern b] is true iff [b] is all 0xFF. *)
+
+val invalidated_block : int -> bytes
+(** [invalidated_block size] is a fresh all-0xFF buffer. *)

@@ -1,0 +1,50 @@
+type t = {
+  mutable reads : int;
+  mutable appends : int;
+  mutable invalidates : int;
+  mutable frontier_queries : int;
+  mutable bytes_read : int;
+  mutable bytes_written : int;
+}
+
+let create () =
+  {
+    reads = 0;
+    appends = 0;
+    invalidates = 0;
+    frontier_queries = 0;
+    bytes_read = 0;
+    bytes_written = 0;
+  }
+
+let reset t =
+  t.reads <- 0;
+  t.appends <- 0;
+  t.invalidates <- 0;
+  t.frontier_queries <- 0;
+  t.bytes_read <- 0;
+  t.bytes_written <- 0
+
+let snapshot t =
+  {
+    reads = t.reads;
+    appends = t.appends;
+    invalidates = t.invalidates;
+    frontier_queries = t.frontier_queries;
+    bytes_read = t.bytes_read;
+    bytes_written = t.bytes_written;
+  }
+
+let diff ~after ~before =
+  {
+    reads = after.reads - before.reads;
+    appends = after.appends - before.appends;
+    invalidates = after.invalidates - before.invalidates;
+    frontier_queries = after.frontier_queries - before.frontier_queries;
+    bytes_read = after.bytes_read - before.bytes_read;
+    bytes_written = after.bytes_written - before.bytes_written;
+  }
+
+let pp ppf t =
+  Format.fprintf ppf "reads=%d appends=%d invalidates=%d bytes_read=%d bytes_written=%d"
+    t.reads t.appends t.invalidates t.bytes_read t.bytes_written

@@ -1,0 +1,24 @@
+(** Per-device operation counters.
+
+    Every device implementation and wrapper carries one of these; the
+    evaluation benchmarks read them to report block reads/appends exactly as
+    the paper's Table 1 does. *)
+
+type t = {
+  mutable reads : int;
+  mutable appends : int;
+  mutable invalidates : int;
+  mutable frontier_queries : int;
+  mutable bytes_read : int;
+  mutable bytes_written : int;
+}
+
+val create : unit -> t
+val reset : t -> unit
+val snapshot : t -> t
+(** [snapshot t] is an independent copy, for before/after deltas. *)
+
+val diff : after:t -> before:t -> t
+(** Field-wise [after - before]. *)
+
+val pp : Format.formatter -> t -> unit

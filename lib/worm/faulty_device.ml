@@ -1,0 +1,68 @@
+type fault = Corrupt_written of bytes | Bad_unwritten | Garbage_visible of bytes
+
+type t = {
+  inner : Block_io.t;
+  rng : Sim.Rng.t;
+  faults : (int, fault) Hashtbl.t;
+  mutable injected : int;
+}
+
+let create ?rng inner =
+  let rng = match rng with Some r -> r | None -> Sim.Rng.create 0xFAB7L in
+  { inner; rng; faults = Hashtbl.create 16; injected = 0 }
+
+let garbage t size =
+  Bytes.init size (fun _ -> Char.chr (Sim.Rng.int t.rng 256))
+
+let corrupt_block t idx =
+  Hashtbl.replace t.faults idx (Corrupt_written (garbage t t.inner.Block_io.block_size));
+  t.injected <- t.injected + 1
+
+let mark_bad t idx =
+  Hashtbl.replace t.faults idx Bad_unwritten;
+  t.injected <- t.injected + 1
+
+let spray_garbage_after_frontier t ~count =
+  match t.inner.Block_io.frontier () with
+  | None -> ()
+  | Some f ->
+    for i = f to min (f + count - 1) (t.inner.Block_io.capacity - 1) do
+      Hashtbl.replace t.faults i (Garbage_visible (garbage t t.inner.Block_io.block_size));
+      t.injected <- t.injected + 1
+    done
+
+let clear_faults t = Hashtbl.reset t.faults
+let faults_injected t = t.injected
+
+let read t idx : (bytes, Block_io.error) result =
+  match Hashtbl.find_opt t.faults idx with
+  | Some (Corrupt_written g) | Some (Garbage_visible g) -> Ok (Bytes.copy g)
+  | Some Bad_unwritten -> Ok (garbage t t.inner.Block_io.block_size)
+  | None -> t.inner.Block_io.read idx
+
+let append t data : (int, Block_io.error) result =
+  (* The drive positions at its frontier; if the medium is damaged there the
+     write fails and the server must invalidate the block and retry. *)
+  match t.inner.Block_io.frontier () with
+  | Some f when Hashtbl.find_opt t.faults f = Some Bad_unwritten -> Error (Bad_block f)
+  | _ -> (
+    match t.inner.Block_io.append data with
+    | Ok idx ->
+      (* A real append lands on top of any sprayed garbage. *)
+      (match Hashtbl.find_opt t.faults idx with
+      | Some (Garbage_visible _) -> Hashtbl.remove t.faults idx
+      | _ -> ());
+      Ok idx
+    | Error _ as e -> e)
+
+let invalidate t idx =
+  Hashtbl.remove t.faults idx;
+  t.inner.Block_io.invalidate idx
+
+let io t : Block_io.t =
+  {
+    t.inner with
+    read = read t;
+    append = append t;
+    invalidate = invalidate t;
+  }

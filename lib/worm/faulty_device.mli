@@ -1,0 +1,33 @@
+(** Fault-injection wrapper, modeling the failures of section 2.3.2.
+
+    Three failure classes:
+    - {e corrupt written blocks}: a previously written block's contents are
+      replaced with garbage (detected by the server through its block
+      checksum);
+    - {e bad unwritten blocks}: the medium is damaged where nothing was
+      written yet; appends landing there fail with [Bad_block] and reads
+      return garbage instead of [Unwritten];
+    - {e garbage beyond the frontier}: a crashed writer sprayed random data
+      past the true end of the log, confusing frontier discovery.
+
+    Injection is explicit (deterministic tests) or probabilistic from an
+    {!Sim.Rng.t}. *)
+
+type t
+
+val create : ?rng:Sim.Rng.t -> Block_io.t -> t
+val io : t -> Block_io.t
+
+val corrupt_block : t -> int -> unit
+(** Replace a written block's visible contents with pseudo-random garbage. *)
+
+val mark_bad : t -> int -> unit
+(** Damage an unwritten block: future appends there fail with [Bad_block]. *)
+
+val spray_garbage_after_frontier : t -> count:int -> unit
+(** Make the [count] blocks after the current frontier read back as garbage
+    (they remain appendable — the garbage is overwritten by a real append),
+    simulating a failure that wrote junk past the log's end. *)
+
+val clear_faults : t -> unit
+val faults_injected : t -> int

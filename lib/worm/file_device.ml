@@ -1,0 +1,165 @@
+let magic = 0x43_4C_49_4F (* "CLIO" *)
+let format_version = 1
+let superblock_size = 4096
+
+type t = {
+  fd : Unix.file_descr;
+  block_size : int;
+  capacity : int;
+  state : Bytes.t;  (* one byte per block: 0 unwritten, 1 written, 2 invalid *)
+  mutable frontier : int;
+  stats : Dev_stats.t;
+}
+
+let state_offset = superblock_size
+let data_offset t idx = superblock_size + t.capacity + (idx * t.block_size)
+
+let pwrite fd ~off buf =
+  ignore (Unix.lseek fd off Unix.SEEK_SET);
+  let n = Bytes.length buf in
+  let rec go pos =
+    if pos < n then begin
+      let w = Unix.write fd buf pos (n - pos) in
+      go (pos + w)
+    end
+  in
+  go 0
+
+let pread fd ~off len =
+  ignore (Unix.lseek fd off Unix.SEEK_SET);
+  let buf = Bytes.create len in
+  let rec go pos =
+    if pos < len then begin
+      let r = Unix.read fd buf pos (len - pos) in
+      if r = 0 then failwith "short read" else go (pos + r)
+    end
+  in
+  go 0;
+  buf
+
+let write_superblock fd ~block_size ~capacity =
+  let sb = Bytes.make superblock_size '\000' in
+  Bytes.set_int32_le sb 0 (Int32.of_int magic);
+  Bytes.set_int32_le sb 4 (Int32.of_int format_version);
+  Bytes.set_int32_le sb 8 (Int32.of_int block_size);
+  Bytes.set_int32_le sb 12 (Int32.of_int capacity);
+  pwrite fd ~off:0 sb
+
+let read_superblock fd =
+  let sb = pread fd ~off:0 superblock_size in
+  let m = Int32.to_int (Bytes.get_int32_le sb 0) in
+  let v = Int32.to_int (Bytes.get_int32_le sb 4) in
+  if m <> magic then Error (Block_io.Io_error "bad volume magic")
+  else if v <> format_version then Error (Block_io.Io_error "unsupported volume version")
+  else
+    let block_size = Int32.to_int (Bytes.get_int32_le sb 8) in
+    let capacity = Int32.to_int (Bytes.get_int32_le sb 12) in
+    Ok (block_size, capacity)
+
+let settle_frontier t =
+  while t.frontier < t.capacity && Bytes.get t.state t.frontier <> '\000' do
+    t.frontier <- t.frontier + 1
+  done
+
+let wrap_io f = try f () with Unix.Unix_error (e, _, _) -> Error (Block_io.Io_error (Unix.error_message e)) | Failure m -> Error (Block_io.Io_error m)
+
+let create ~path ?(block_size = 1024) ?(capacity = 4096) () =
+  wrap_io (fun () ->
+      if Sys.file_exists path && (Unix.stat path).Unix.st_size > 0 then
+        let fd = Unix.openfile path [ Unix.O_RDWR ] 0o644 in
+        match read_superblock fd with
+        | Error e ->
+          Unix.close fd;
+          Error e
+        | Ok (bs, cap) ->
+          if bs <> block_size || cap <> capacity then begin
+            Unix.close fd;
+            Error (Block_io.Io_error "existing volume has different geometry")
+          end
+          else begin
+            let state = pread fd ~off:state_offset capacity in
+            let t = { fd; block_size; capacity; state; frontier = 0; stats = Dev_stats.create () } in
+            settle_frontier t;
+            Ok t
+          end
+      else begin
+        let fd = Unix.openfile path [ Unix.O_RDWR; Unix.O_CREAT ] 0o644 in
+        write_superblock fd ~block_size ~capacity;
+        pwrite fd ~off:state_offset (Bytes.make capacity '\000');
+        Ok { fd; block_size; capacity; state = Bytes.make capacity '\000'; frontier = 0; stats = Dev_stats.create () }
+      end)
+
+let open_existing ~path =
+  wrap_io (fun () ->
+      let fd = Unix.openfile path [ Unix.O_RDWR ] 0o644 in
+      match read_superblock fd with
+      | Error e ->
+        Unix.close fd;
+        Error e
+      | Ok (block_size, capacity) ->
+        let state = pread fd ~off:state_offset capacity in
+        let t = { fd; block_size; capacity; state; frontier = 0; stats = Dev_stats.create () } in
+        settle_frontier t;
+        Ok t)
+
+let set_state t idx c =
+  Bytes.set t.state idx c;
+  pwrite t.fd ~off:(state_offset + idx) (Bytes.make 1 c)
+
+let read t idx : (bytes, Block_io.error) result =
+  t.stats.Dev_stats.reads <- t.stats.Dev_stats.reads + 1;
+  if idx < 0 || idx >= t.capacity then Error (Out_of_range idx)
+  else
+    match Bytes.get t.state idx with
+    | '\000' -> Error (Unwritten idx)
+    | '\002' ->
+      t.stats.Dev_stats.bytes_read <- t.stats.Dev_stats.bytes_read + t.block_size;
+      Ok (Block_io.invalidated_block t.block_size)
+    | _ ->
+      wrap_io (fun () ->
+          let b = pread t.fd ~off:(data_offset t idx) t.block_size in
+          t.stats.Dev_stats.bytes_read <- t.stats.Dev_stats.bytes_read + t.block_size;
+          Ok b)
+
+let append t data : (int, Block_io.error) result =
+  t.stats.Dev_stats.appends <- t.stats.Dev_stats.appends + 1;
+  if Bytes.length data <> t.block_size then Error (Wrong_size (Bytes.length data))
+  else begin
+    settle_frontier t;
+    if t.frontier >= t.capacity then Error Out_of_space
+    else
+      wrap_io (fun () ->
+          let idx = t.frontier in
+          pwrite t.fd ~off:(data_offset t idx) data;
+          set_state t idx '\001';
+          t.frontier <- idx + 1;
+          t.stats.Dev_stats.bytes_written <- t.stats.Dev_stats.bytes_written + t.block_size;
+          Ok idx)
+  end
+
+let invalidate t idx : (unit, Block_io.error) result =
+  t.stats.Dev_stats.invalidates <- t.stats.Dev_stats.invalidates + 1;
+  if idx < 0 || idx >= t.capacity then Error (Out_of_range idx)
+  else
+    wrap_io (fun () ->
+        set_state t idx '\002';
+        Ok ())
+
+let frontier t () =
+  t.stats.Dev_stats.frontier_queries <- t.stats.Dev_stats.frontier_queries + 1;
+  settle_frontier t;
+  Some t.frontier
+
+let io t : Block_io.t =
+  {
+    block_size = t.block_size;
+    capacity = t.capacity;
+    read = read t;
+    append = append t;
+    invalidate = invalidate t;
+    frontier = frontier t;
+    flush = (fun () -> wrap_io (fun () -> Unix.fsync t.fd; Ok ()));
+    stats = t.stats;
+  }
+
+let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()

@@ -1,0 +1,22 @@
+(** File-backed write-once device.
+
+    Persists a simulated WORM volume in a regular file so the CLI and the
+    examples survive process restarts. The backing file is rewriteable, so
+    the write-once contract is enforced in software: a software-level
+    equivalent of the paper's preference that "the append-only restriction
+    \[be enforced\] at the lowest possible level of the system".
+
+    On-disk layout: a 4 KB superblock (magic, version, geometry), a
+    one-byte-per-block state map, then the block data. *)
+
+type t
+
+val create : path:string -> ?block_size:int -> ?capacity:int -> unit -> (t, Block_io.error) result
+(** [create ~path ()] initializes a fresh volume file, failing if [path]
+    already holds one with different geometry. *)
+
+val open_existing : path:string -> (t, Block_io.error) result
+(** [open_existing ~path] reopens a volume created by {!create}. *)
+
+val io : t -> Block_io.t
+val close : t -> unit

@@ -1,0 +1,101 @@
+type slot = Unwritten | Written of bytes | Invalidated
+
+type t = {
+  block_size : int;
+  capacity : int;
+  reports_frontier : bool;
+  slots : slot array;
+  mutable frontier : int;  (* lowest index an append may use *)
+  stats : Dev_stats.t;
+}
+
+let create ?(block_size = 1024) ?(capacity = 4096) ?(reports_frontier = true) () =
+  {
+    block_size;
+    capacity;
+    reports_frontier;
+    slots = Array.make capacity Unwritten;
+    frontier = 0;
+    stats = Dev_stats.create ();
+  }
+
+(* The frontier skips blocks consumed by invalidation. *)
+let rec settle_frontier t =
+  if t.frontier < t.capacity then
+    match t.slots.(t.frontier) with
+    | Unwritten -> ()
+    | Written _ | Invalidated ->
+      t.frontier <- t.frontier + 1;
+      settle_frontier t
+
+let read t idx : (bytes, Block_io.error) result =
+  t.stats.Dev_stats.reads <- t.stats.Dev_stats.reads + 1;
+  if idx < 0 || idx >= t.capacity then Error (Out_of_range idx)
+  else
+    match t.slots.(idx) with
+    | Unwritten -> Error (Unwritten idx)
+    | Written b ->
+      t.stats.Dev_stats.bytes_read <- t.stats.Dev_stats.bytes_read + Bytes.length b;
+      Ok b
+    | Invalidated ->
+      t.stats.Dev_stats.bytes_read <- t.stats.Dev_stats.bytes_read + t.block_size;
+      Ok (Block_io.invalidated_block t.block_size)
+
+let append t data : (int, Block_io.error) result =
+  t.stats.Dev_stats.appends <- t.stats.Dev_stats.appends + 1;
+  if Bytes.length data <> t.block_size then Error (Wrong_size (Bytes.length data))
+  else begin
+    settle_frontier t;
+    if t.frontier >= t.capacity then Error Out_of_space
+    else begin
+      let idx = t.frontier in
+      t.slots.(idx) <- Written (Bytes.copy data);
+      t.frontier <- idx + 1;
+      t.stats.Dev_stats.bytes_written <- t.stats.Dev_stats.bytes_written + t.block_size;
+      Ok idx
+    end
+  end
+
+let invalidate t idx : (unit, Block_io.error) result =
+  t.stats.Dev_stats.invalidates <- t.stats.Dev_stats.invalidates + 1;
+  if idx < 0 || idx >= t.capacity then Error (Out_of_range idx)
+  else begin
+    t.slots.(idx) <- Invalidated;
+    Ok ()
+  end
+
+let frontier t =
+  t.stats.Dev_stats.frontier_queries <- t.stats.Dev_stats.frontier_queries + 1;
+  if not t.reports_frontier then None
+  else begin
+    settle_frontier t;
+    Some t.frontier
+  end
+
+let io t : Block_io.t =
+  {
+    block_size = t.block_size;
+    capacity = t.capacity;
+    read = read t;
+    append = append t;
+    invalidate = invalidate t;
+    frontier = (fun () -> frontier t);
+    flush = (fun () -> Ok ());
+    stats = t.stats;
+  }
+
+let written_blocks t =
+  let n = ref 0 in
+  Array.iter (function Unwritten -> () | Written _ | Invalidated -> incr n) t.slots;
+  !n
+
+let raw_poke t idx data =
+  if idx >= 0 && idx < t.capacity then t.slots.(idx) <- Written (Bytes.copy data)
+
+let raw_peek t idx =
+  if idx < 0 || idx >= t.capacity then None
+  else
+    match t.slots.(idx) with
+    | Unwritten -> None
+    | Written b -> Some (Bytes.copy b)
+    | Invalidated -> Some (Block_io.invalidated_block t.block_size)

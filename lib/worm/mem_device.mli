@@ -1,0 +1,31 @@
+(** In-memory write-once device.
+
+    The workhorse for tests and benchmarks: enforces the full WORM contract
+    (append-at-frontier only, invalidate-to-all-1s, no rewrites) over an
+    array of block states. *)
+
+type t
+
+val create :
+  ?block_size:int -> ?capacity:int -> ?reports_frontier:bool -> unit -> t
+(** [create ()] makes a device with [block_size] (default 1024) and
+    [capacity] blocks (default 4096). If [reports_frontier] is false the
+    device refuses frontier queries, exercising the recovery binary search of
+    section 2.3.1. *)
+
+val io : t -> Block_io.t
+(** The device's operation record. *)
+
+val written_blocks : t -> int
+(** Number of blocks no longer writable (written or invalidated). *)
+
+val raw_poke : t -> int -> bytes -> unit
+(** [raw_poke t idx data] bypasses the WORM contract and replaces block
+    [idx]'s contents — the hook used by {!Faulty_device} and corruption tests
+    to model hardware/software failures writing garbage (section 2.3.2). If
+    [idx] was unwritten it becomes readable garbage without moving the
+    frontier. *)
+
+val raw_peek : t -> int -> bytes option
+(** [raw_peek t idx] reads without counting toward stats; [None] if
+    unwritten. *)

@@ -1,0 +1,61 @@
+type t = {
+  primary : Block_io.t;
+  replica : Block_io.t;
+  validate : bytes -> bool;
+  mutable fallback_reads : int;
+  mutable divergent_appends : int;
+}
+
+let create ~validate primary replica =
+  if
+    primary.Block_io.block_size <> replica.Block_io.block_size
+    || primary.Block_io.capacity <> replica.Block_io.capacity
+  then Error (Block_io.Io_error "mirror replicas have different geometry")
+  else Ok { primary; replica; validate; fallback_reads = 0; divergent_appends = 0 }
+
+let read t idx : (bytes, Block_io.error) result =
+  match t.primary.Block_io.read idx with
+  | Ok b when t.validate b -> Ok b
+  | (Ok _ | Error _) as primary_result -> (
+    match t.replica.Block_io.read idx with
+    | Ok b ->
+      t.fallback_reads <- t.fallback_reads + 1;
+      Ok b
+    | Error _ -> (
+      (* Neither replica has a valid copy: surface the primary's view. *)
+      match primary_result with Ok b -> Ok b | Error _ as e -> e))
+
+let append t data : (int, Block_io.error) result =
+  match t.primary.Block_io.append data with
+  | Error _ as e -> e
+  | Ok idx -> (
+    match t.replica.Block_io.append data with
+    | Ok idx2 ->
+      if idx <> idx2 then t.divergent_appends <- t.divergent_appends + 1;
+      Ok idx
+    | Error _ ->
+      (* The replica is full/broken; the mirror degrades to the primary. *)
+      t.divergent_appends <- t.divergent_appends + 1;
+      Ok idx)
+
+let invalidate t idx =
+  let r1 = t.primary.Block_io.invalidate idx in
+  let _r2 = t.replica.Block_io.invalidate idx in
+  r1
+
+let io t : Block_io.t =
+  {
+    t.primary with
+    read = read t;
+    append = append t;
+    invalidate = invalidate t;
+    frontier = t.primary.Block_io.frontier;
+    flush =
+      (fun () ->
+        match (t.primary.Block_io.flush (), t.replica.Block_io.flush ()) with
+        | Ok (), Ok () -> Ok ()
+        | (Error _ as e), _ | _, (Error _ as e) -> e);
+  }
+
+let fallback_reads t = t.fallback_reads
+let divergent_appends t = t.divergent_appends

@@ -1,0 +1,27 @@
+(** Mirrored write-once devices (paper footnote 11: "our design does not
+    preclude the possibility of replication occurring at the log device
+    level (that is, with mirrored disks)").
+
+    Appends go to both replicas; reads come from the primary unless a
+    caller-supplied validator rejects the bytes, in which case the replica
+    answers. The log layer passes its block checksum as the validator, so a
+    block corrupted on one platter is healed transparently — and the repair
+    is observable in the stats. *)
+
+type t
+
+val create :
+  validate:(bytes -> bool) -> Block_io.t -> Block_io.t -> (t, Block_io.error) result
+(** [create ~validate primary replica]. The devices must share geometry. An
+    unreadable or invalid primary block falls back to the replica (the
+    replica's answer is served even if also invalid — the upper layer's
+    classification applies). *)
+
+val io : t -> Block_io.t
+
+val fallback_reads : t -> int
+(** Reads the primary could not serve validly. *)
+
+val divergent_appends : t -> int
+(** Appends where the two replicas reported different block indices (a
+    replica with bad blocks skids ahead) — tolerated, counted. *)

@@ -1,0 +1,15 @@
+type t = { mutable saved : (int * bytes) option; mutable syncs : int }
+
+let create () = { saved = None; syncs = 0 }
+
+let store t ~block data =
+  t.saved <- Some (block, Bytes.copy data);
+  t.syncs <- t.syncs + 1
+
+let load t =
+  match t.saved with
+  | None -> None
+  | Some (b, data) -> Some (b, Bytes.copy data)
+
+let clear t = t.saved <- None
+let syncs t = t.syncs

@@ -1,0 +1,27 @@
+(** Battery-backed RAM for the tail block (section 2.3.1).
+
+    "Ideally, in order to efficiently support frequent forced writes, the
+    tail end of the log device is implemented as rewriteable non-volatile
+    storage, such as battery backed-up RAM."
+
+    An [Nvram.t] lives {e outside} the log server: when tests simulate a
+    crash they discard the server but keep the device and the NVRAM, then
+    recover. Contents persist until explicitly cleared. *)
+
+type t
+
+val create : unit -> t
+
+val store : t -> block:int -> bytes -> unit
+(** [store t ~block data] durably saves the partial contents of tail block
+    [block]. Overwrites any previous save (NVRAM is rewriteable). *)
+
+val load : t -> (int * bytes) option
+(** The saved (block index, contents), if any. *)
+
+val clear : t -> unit
+(** Called once the tail block has been committed to the WORM medium. *)
+
+val syncs : t -> int
+(** Number of [store] calls — the cost a forced write pays in NVRAM mode
+    instead of burning a partial WORM block. *)

@@ -1,0 +1,65 @@
+type t = {
+  inner : Block_io.t;
+  clock : Sim.Clock.t;
+  model : Sim.Seek_model.t;
+  separate_heads : bool;
+  mutable read_head : int;
+  mutable write_head : int;
+  mutable busy_us : int64;
+}
+
+let create ~clock ~model ?(separate_heads = true) inner =
+  { inner; clock; model; separate_heads; read_head = 0; write_head = 0; busy_us = 0L }
+
+let charge t us =
+  t.busy_us <- Int64.add t.busy_us us;
+  Sim.Clock.advance t.clock us
+
+let charge_read t idx bytes =
+  let dist = abs (idx - t.read_head) in
+  t.read_head <- idx;
+  charge t (t.model.Sim.Seek_model.seek_us ~dist);
+  charge t (t.model.Sim.Seek_model.transfer_us ~bytes)
+
+let charge_write t idx bytes =
+  let from = if t.separate_heads then t.write_head else t.read_head in
+  let dist = abs (idx - from) in
+  t.write_head <- idx;
+  if not t.separate_heads then t.read_head <- idx;
+  charge t (t.model.Sim.Seek_model.seek_us ~dist);
+  charge t (t.model.Sim.Seek_model.transfer_us ~bytes)
+
+let read t idx =
+  match t.inner.Block_io.read idx with
+  | Ok b ->
+    charge_read t idx (Bytes.length b);
+    Ok b
+  | Error _ as e ->
+    (* A failed read still seeks. *)
+    charge_read t idx 0;
+    e
+
+let append t data =
+  match t.inner.Block_io.append data with
+  | Ok idx ->
+    charge_write t idx (Bytes.length data);
+    Ok idx
+  | Error _ as e -> e
+
+let invalidate t idx =
+  match t.inner.Block_io.invalidate idx with
+  | Ok () ->
+    charge_write t idx t.inner.Block_io.block_size;
+    Ok ()
+  | Error _ as e -> e
+
+let io t : Block_io.t =
+  {
+    t.inner with
+    read = read t;
+    append = append t;
+    invalidate = invalidate t;
+  }
+
+let busy_us t = t.busy_us
+let head_position t = t.read_head

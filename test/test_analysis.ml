@@ -1,0 +1,96 @@
+(* The closed-form section-3 formulas: paper-quoted values and shapes. *)
+
+module A = Clio.Analysis
+
+let test_table1_examinations () =
+  (* Table 1: distances N^k cost 2k-1 entrymap entries (N = 16). *)
+  Alcotest.(check int) "d=0" 0 (A.locate_examinations ~fanout:16 ~distance:0);
+  Alcotest.(check int) "d=N" 1 (A.locate_examinations ~fanout:16 ~distance:16);
+  Alcotest.(check int) "d=N^2" 3 (A.locate_examinations ~fanout:16 ~distance:256);
+  Alcotest.(check int) "d=N^3" 5 (A.locate_examinations ~fanout:16 ~distance:4096);
+  Alcotest.(check int) "d=N^4" 7 (A.locate_examinations ~fanout:16 ~distance:65536);
+  Alcotest.(check int) "d=N^5" 9 (A.locate_examinations ~fanout:16 ~distance:1048576)
+
+let test_locate_monotone_in_distance () =
+  let prev = ref 0 in
+  List.iter
+    (fun d ->
+      let n = A.locate_examinations ~fanout:16 ~distance:d in
+      Alcotest.(check bool) "non-decreasing" true (n >= !prev);
+      prev := n)
+    [ 1; 10; 100; 1000; 10_000; 100_000; 1_000_000; 10_000_000 ]
+
+let test_figure3_bigger_fanout_cheaper_far () =
+  (* Figure 3: for very distant entries, larger N examines fewer entries
+     (n shrinks like 1/log N). *)
+  let d = 10_000_000 in
+  let n4 = A.locate_examinations ~fanout:4 ~distance:d in
+  let n16 = A.locate_examinations ~fanout:16 ~distance:d in
+  let n128 = A.locate_examinations ~fanout:128 ~distance:d in
+  Alcotest.(check bool) "4 > 16" true (n4 > n16);
+  Alcotest.(check bool) "16 >= 128" true (n16 >= n128);
+  (* ... but the paper notes "little benefit in N larger than 16 or 32". *)
+  Alcotest.(check bool) "diminishing returns" true (n4 - n16 > n16 - n128)
+
+let test_figure4_recovery_cost () =
+  (* Figure 4: reconstruction cost grows with N — the opposite trade-off. *)
+  let b = 1_000_000.0 in
+  let r4 = A.recovery_examinations_avg ~fanout:4 ~written:b in
+  let r16 = A.recovery_examinations_avg ~fanout:16 ~written:b in
+  let r128 = A.recovery_examinations_avg ~fanout:128 ~written:b in
+  Alcotest.(check bool) "4 < 16" true (r4 < r16);
+  Alcotest.(check bool) "16 < 128" true (r16 < r128);
+  (* (N log_N b)/2 at N=16, b=10^6: 16 * ~4.98 / 2 ~ 39.9. *)
+  Alcotest.(check bool) "N=16 value" true (r16 > 35.0 && r16 < 45.0);
+  Alcotest.(check bool) "worst is twice avg" true
+    (abs_float (A.recovery_examinations_worst ~fanout:16 ~written:b -. (2.0 *. r16)) < 1e-6)
+
+let test_section35_overhead_bound () =
+  (* Section 3.5's worked example: c=1/15, a=8, N=16, h=4 => < 0.16 B. *)
+  let o =
+    A.space_overhead_per_entry ~fanout:16 ~header_bytes:4.0 ~files_per_map:8.0
+      ~entry_block_ratio:(1.0 /. 15.0)
+  in
+  Alcotest.(check bool) "paper's 0.16-byte bound" true (o > 0.10 && o <= 0.16)
+
+let test_entrymap_entries_per_block () =
+  Alcotest.(check bool) "1/(N-1)" true
+    (abs_float (A.entrymap_entries_per_block ~fanout:16 -. (1.0 /. 15.0)) < 1e-9)
+
+let test_header_overhead_dominates () =
+  (* Section 3.5's conclusion: entrymap overhead stays below the header
+     overhead unless entries are near block-sized and many files are hot. *)
+  let o =
+    A.space_overhead_per_entry ~fanout:16 ~header_bytes:4.0 ~files_per_map:8.0
+      ~entry_block_ratio:(1.0 /. 15.0)
+  in
+  Alcotest.(check bool) "o_e < h" true (o < 4.0)
+
+let test_frontier_probes_log2 () =
+  Alcotest.(check int) "1M blocks -> 20 probes" 20 (A.frontier_probes ~capacity:1_048_576);
+  Alcotest.(check int) "1k blocks -> 10 probes" 10 (A.frontier_probes ~capacity:1024)
+
+let test_avg_curve_close_to_steps () =
+  List.iter
+    (fun d ->
+      let step = float_of_int (A.locate_examinations ~fanout:16 ~distance:d) in
+      let smooth = A.locate_examinations_avg ~fanout:16 ~distance:(float_of_int d) in
+      Alcotest.(check bool) "within 2 of each other" true (abs_float (step -. smooth) <= 2.0))
+    [ 16; 256; 4096; 65536 ]
+
+let () =
+  Testkit.run "analysis"
+    [
+      ( "section-3",
+        [
+          Alcotest.test_case "Table 1 examinations" `Quick test_table1_examinations;
+          Alcotest.test_case "locate monotone" `Quick test_locate_monotone_in_distance;
+          Alcotest.test_case "Figure 3 fanout trend" `Quick test_figure3_bigger_fanout_cheaper_far;
+          Alcotest.test_case "Figure 4 recovery trend" `Quick test_figure4_recovery_cost;
+          Alcotest.test_case "section 3.5 bound" `Quick test_section35_overhead_bound;
+          Alcotest.test_case "entries per block" `Quick test_entrymap_entries_per_block;
+          Alcotest.test_case "header dominates" `Quick test_header_overhead_dominates;
+          Alcotest.test_case "frontier probes" `Quick test_frontier_probes_log2;
+          Alcotest.test_case "avg vs step curve" `Quick test_avg_curve_close_to_steps;
+        ] );
+    ]

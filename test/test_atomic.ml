@@ -1,0 +1,214 @@
+(* Atomic update via log files (the section-6 extension) and the
+   delayed-write staging of section 4.1. *)
+
+open Testkit
+
+module A = History.Atomic
+
+let store f path = ok (A.create f.srv ~path)
+
+let test_put_get_commit () =
+  let f = make_fixture () in
+  let s = store f "/kv" in
+  let txn = A.begin_txn s in
+  A.put txn ~key:"alpha" "1";
+  A.put txn ~key:"beta" "2";
+  Alcotest.(check (option string)) "txn sees own writes" (Some "1") (A.find txn "alpha");
+  Alcotest.(check (option string)) "store does not yet" None (A.get s "alpha");
+  ignore (ok (A.commit txn));
+  Alcotest.(check (option string)) "visible after commit" (Some "1") (A.get s "alpha");
+  Alcotest.(check (list string)) "keys" [ "alpha"; "beta" ] (A.keys s)
+
+let test_abort_discards () =
+  let f = make_fixture () in
+  let s = store f "/kv" in
+  let txn = A.begin_txn s in
+  A.put txn ~key:"ghost" "boo";
+  A.abort txn;
+  Alcotest.(check (option string)) "nothing applied" None (A.get s "ghost");
+  (* And nothing was logged: replay sees zero transactions. *)
+  let s2 = store f "/kv" in
+  Alcotest.(check int) "no entries" 0 (A.replayed s2)
+
+let test_remove_and_overwrite () =
+  let f = make_fixture () in
+  let s = store f "/kv" in
+  let t1 = A.begin_txn s in
+  A.put t1 ~key:"k" "v1";
+  ignore (ok (A.commit t1));
+  let t2 = A.begin_txn s in
+  A.put t2 ~key:"k" "v2";
+  A.put t2 ~key:"k" "v3";
+  (* last write within the txn wins *)
+  ignore (ok (A.commit t2));
+  Alcotest.(check (option string)) "overwritten" (Some "v3") (A.get s "k");
+  let t3 = A.begin_txn s in
+  A.remove t3 ~key:"k";
+  Alcotest.(check (option string)) "txn sees removal" None (A.find t3 "k");
+  ignore (ok (A.commit t3));
+  Alcotest.(check (option string)) "removed" None (A.get s "k")
+
+let test_empty_commit_logs_nothing () =
+  let f = make_fixture () in
+  let s = store f "/kv" in
+  let txn = A.begin_txn s in
+  (match ok (A.commit txn) with
+  | None -> ()
+  | Some _ -> Alcotest.fail "empty commit must not log");
+  let s2 = store f "/kv" in
+  Alcotest.(check int) "no entries" 0 (A.replayed s2)
+
+let test_double_commit_rejected () =
+  let f = make_fixture () in
+  let s = store f "/kv" in
+  let txn = A.begin_txn s in
+  A.put txn ~key:"x" "y";
+  ignore (ok (A.commit txn));
+  match A.commit txn with
+  | Error (Clio.Errors.Bad_record _) -> ()
+  | _ -> Alcotest.fail "double commit must fail"
+
+let test_recovery_replays_committed_only () =
+  let f = make_fixture () in
+  let s = store f "/bank" in
+  (* Committed transfer... *)
+  let t1 = A.begin_txn s in
+  A.put t1 ~key:"acct:a" "50";
+  A.put t1 ~key:"acct:b" "150";
+  ignore (ok (A.commit t1));
+  (* ...an aborted one... *)
+  let t2 = A.begin_txn s in
+  A.put t2 ~key:"acct:a" "0";
+  A.abort t2;
+  (* ...and an uncommitted one in flight at the crash. *)
+  let t3 = A.begin_txn s in
+  A.put t3 ~key:"acct:b" "99999";
+  ignore (crash_and_recover f);
+  let s2 = store f "/bank" in
+  Alcotest.(check int) "one committed txn replayed" 1 (A.replayed s2);
+  Alcotest.(check (option string)) "a" (Some "50") (A.get s2 "acct:a");
+  Alcotest.(check (option string)) "b" (Some "150") (A.get s2 "acct:b")
+
+let test_atomicity_of_multi_key_commits () =
+  (* After any number of "transfers", the invariant sum(a,b) holds in every
+     recovered state — all-or-nothing per transaction. *)
+  let f = make_fixture () in
+  let s = store f "/bank" in
+  let t0 = A.begin_txn s in
+  A.put t0 ~key:"a" "500";
+  A.put t0 ~key:"b" "500";
+  ignore (ok (A.commit t0));
+  let rng = Sim.Rng.create 42L in
+  for _ = 1 to 30 do
+    let a = int_of_string (Option.get (A.get s "a")) in
+    let b = int_of_string (Option.get (A.get s "b")) in
+    let amount = Sim.Rng.int rng 100 in
+    let txn = A.begin_txn s in
+    A.put txn ~key:"a" (string_of_int (a - amount));
+    A.put txn ~key:"b" (string_of_int (b + amount));
+    ignore (ok (A.commit txn))
+  done;
+  ignore (crash_and_recover f);
+  let s2 = store f "/bank" in
+  let total =
+    int_of_string (Option.get (A.get s2 "a")) + int_of_string (Option.get (A.get s2 "b"))
+  in
+  Alcotest.(check int) "conserved across crash" 1000 total
+
+let test_large_transaction_fragments () =
+  (* A transaction bigger than a block is still one atomic entry. *)
+  let f = make_fixture ~block_size:256 () in
+  let s = store f "/kv" in
+  let txn = A.begin_txn s in
+  for i = 0 to 19 do
+    A.put txn ~key:(Printf.sprintf "key%02d" i) (String.make 100 'v')
+  done;
+  ignore (ok (A.commit txn));
+  ignore (crash_and_recover f);
+  let s2 = store f "/kv" in
+  Alcotest.(check int) "all 20 keys" 20 (List.length (A.keys s2))
+
+(* ------------------------------ delayed write ------------------------------ *)
+
+module DW = History.Delayed_write
+
+let test_elision_of_short_lived_data () =
+  let f = make_fixture () in
+  let dw = DW.create f.srv ~flush_delay_us:1000L in
+  (* Ten updates to one file in quick succession: only the survivor should
+     reach the log. *)
+  for i = 0 to 9 do
+    ignore (ok (DW.update dw ~now:(Int64.of_int (i * 10)) ~path:"/fs/hot" (Printf.sprintf "v%d" i)))
+  done;
+  ignore (ok (DW.tick dw ~now:10_000L));
+  let s = DW.stats dw in
+  Alcotest.(check int) "ten updates" 10 s.DW.updates;
+  Alcotest.(check int) "nine elided" 9 s.DW.elided;
+  Alcotest.(check int) "one logged" 1 s.DW.flushed;
+  (* The survivor is the newest version. *)
+  let log = ok (Clio.Server.resolve f.srv "/fs/hot") in
+  check_payloads "latest version" [ "v9" ] (all_payloads f.srv ~log)
+
+let test_aged_data_flushes () =
+  let f = make_fixture () in
+  let dw = DW.create f.srv ~flush_delay_us:100L in
+  ignore (ok (DW.update dw ~now:0L ~path:"/fs/a" "a1"));
+  (* Enough time passes: the next update flushes the old one first. *)
+  ignore (ok (DW.update dw ~now:500L ~path:"/fs/a" "a2"));
+  let s = DW.stats dw in
+  Alcotest.(check int) "first one flushed, not elided" 1 s.DW.flushed;
+  Alcotest.(check int) "no elision" 0 s.DW.elided
+
+let test_flush_all_drains () =
+  let f = make_fixture () in
+  let dw = DW.create f.srv ~flush_delay_us:1_000_000L in
+  ignore (ok (DW.update dw ~now:0L ~path:"/fs/x" "x"));
+  ignore (ok (DW.update dw ~now:0L ~path:"/fs/y" "y"));
+  Alcotest.(check int) "two pending" 2 (DW.pending dw);
+  ignore (ok (DW.flush_all dw));
+  Alcotest.(check int) "drained" 0 (DW.pending dw);
+  Alcotest.(check int) "both logged" 2 (DW.stats dw).DW.flushed
+
+let test_ousterhout_churn_elision_rate () =
+  (* With half the writes short-lived (superseded quickly), a delayed-write
+     policy elides a large share — the section 4.1 feasibility claim. *)
+  let f = make_fixture ~capacity:16384 () in
+  let dw = DW.create f.srv ~flush_delay_us:300_000_000L (* 5 simulated minutes *) in
+  let rng = Sim.Rng.create 7L in
+  let records = Sim.Workload.churn_trace ~rng ~files:50 ~writes:2000 ~short_lived_fraction:0.5 in
+  let now = ref 0L in
+  List.iter
+    (fun r ->
+      now := Int64.add !now (Int64.mul r.Sim.Workload.gap_us 1000L);
+      ignore (ok (DW.update dw ~now:!now ~path:r.Sim.Workload.path r.Sim.Workload.payload)))
+    records;
+  ignore (ok (DW.flush_all dw));
+  let s = DW.stats dw in
+  let elision = float_of_int s.DW.elided /. float_of_int s.DW.updates in
+  Alcotest.(check bool)
+    (Printf.sprintf "elision rate %.0f%% is substantial" (elision *. 100.0))
+    true (elision > 0.5);
+  Alcotest.(check int) "accounting adds up" s.DW.updates (s.DW.flushed + s.DW.elided)
+
+let () =
+  run "atomic"
+    [
+      ( "transactions",
+        [
+          Alcotest.test_case "put/get/commit" `Quick test_put_get_commit;
+          Alcotest.test_case "abort discards" `Quick test_abort_discards;
+          Alcotest.test_case "remove and overwrite" `Quick test_remove_and_overwrite;
+          Alcotest.test_case "empty commit" `Quick test_empty_commit_logs_nothing;
+          Alcotest.test_case "double commit rejected" `Quick test_double_commit_rejected;
+          Alcotest.test_case "recovery replays committed only" `Quick test_recovery_replays_committed_only;
+          Alcotest.test_case "multi-key atomicity" `Quick test_atomicity_of_multi_key_commits;
+          Alcotest.test_case "large txn fragments" `Quick test_large_transaction_fragments;
+        ] );
+      ( "delayed-write",
+        [
+          Alcotest.test_case "elision of short-lived data" `Quick test_elision_of_short_lived_data;
+          Alcotest.test_case "aged data flushes" `Quick test_aged_data_flushes;
+          Alcotest.test_case "flush_all drains" `Quick test_flush_all_drains;
+          Alcotest.test_case "churn elision rate" `Quick test_ousterhout_churn_elision_rate;
+        ] );
+    ]

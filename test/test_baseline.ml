@@ -1,0 +1,215 @@
+(* Baselines: the indirect-block FS, skip-chain locate, version chains. *)
+
+open Testkit
+
+(* ---------------------------- indirect fs ---------------------------- *)
+
+let mk_fs ?churn () =
+  let dev = Baseline.Rw_device.create ~block_size:1024 ~capacity:200_000 () in
+  (dev, Baseline.Indirect_fs.format ?churn dev)
+
+let test_fs_write_read_roundtrip () =
+  let _, fs = mk_fs () in
+  let file = ok (Baseline.Indirect_fs.create_file fs "f") in
+  ok (Baseline.Indirect_fs.append fs file "hello ");
+  ok (Baseline.Indirect_fs.append fs file "world");
+  Alcotest.(check int) "size" 11 (Baseline.Indirect_fs.size fs file);
+  Alcotest.(check string) "contents" "hello world"
+    (ok (Baseline.Indirect_fs.read_range fs file ~off:0 ~len:11));
+  Alcotest.(check string) "subrange" "o wor" (ok (Baseline.Indirect_fs.read_range fs file ~off:4 ~len:5))
+
+let test_fs_large_file_through_indirection () =
+  let _, fs = mk_fs () in
+  let file = ok (Baseline.Indirect_fs.create_file fs "big") in
+  (* Past the 12 direct blocks and into the single indirect range. *)
+  let chunk = String.make 1024 'a' in
+  for _ = 1 to 40 do
+    ok (Baseline.Indirect_fs.append fs file chunk)
+  done;
+  Alcotest.(check int) "size" (40 * 1024) (Baseline.Indirect_fs.size fs file);
+  let back = ok (Baseline.Indirect_fs.read_range fs file ~off:(20 * 1024) ~len:1024) in
+  Alcotest.(check string) "mid-file readable" chunk back;
+  Alcotest.(check int) "40 data blocks" 40 (List.length (Baseline.Indirect_fs.blocks_of_file fs file))
+
+let test_fs_double_indirect () =
+  let _, fs = mk_fs () in
+  let file = ok (Baseline.Indirect_fs.create_file fs "huge") in
+  (* 12 direct + 256 single-indirect = 268 blocks; write past that. *)
+  let chunk = String.make 1024 'b' in
+  for _ = 1 to 300 do
+    ok (Baseline.Indirect_fs.append fs file chunk)
+  done;
+  let back = ok (Baseline.Indirect_fs.read_range fs file ~off:(299 * 1024) ~len:1024) in
+  Alcotest.(check string) "tail readable" chunk back
+
+let test_fs_read_past_end () =
+  let _, fs = mk_fs () in
+  let file = ok (Baseline.Indirect_fs.create_file fs "f") in
+  ok (Baseline.Indirect_fs.append fs file "abc");
+  match Baseline.Indirect_fs.read_range fs file ~off:0 ~len:10 with
+  | Error (Clio.Errors.Bad_record _) -> ()
+  | _ -> Alcotest.fail "expected read-past-end error"
+
+let test_fs_names () =
+  let _, fs = mk_fs () in
+  ignore (ok (Baseline.Indirect_fs.create_file fs "f"));
+  (match Baseline.Indirect_fs.create_file fs "f" with
+  | Error (Clio.Errors.Log_exists _) -> ()
+  | _ -> Alcotest.fail "duplicate must fail");
+  (match Baseline.Indirect_fs.open_file fs "g" with
+  | Error (Clio.Errors.No_such_log _) -> ()
+  | _ -> Alcotest.fail "missing must fail");
+  ignore (ok (Baseline.Indirect_fs.open_file fs "f"))
+
+let test_fs_append_write_amplification_grows () =
+  (* The motivating claim: appends to a large growing file cost more device
+     writes (inode + indirect-path updates) than appends to a small one. *)
+  let dev, fs = mk_fs () in
+  let file = ok (Baseline.Indirect_fs.create_file fs "grow") in
+  let chunk = String.make 1024 'c' in
+  (* Warm up within direct blocks. *)
+  for _ = 1 to 5 do
+    ok (Baseline.Indirect_fs.append fs file chunk)
+  done;
+  Baseline.Rw_device.reset_counters dev;
+  for _ = 1 to 5 do
+    ok (Baseline.Indirect_fs.append fs file chunk)
+  done;
+  let small_cost = Baseline.Rw_device.writes dev in
+  (* Push deep into double-indirect territory. *)
+  for _ = 1 to 300 do
+    ok (Baseline.Indirect_fs.append fs file chunk)
+  done;
+  Baseline.Rw_device.reset_counters dev;
+  for _ = 1 to 5 do
+    ok (Baseline.Indirect_fs.append fs file chunk)
+  done;
+  let big_cost = Baseline.Rw_device.writes dev in
+  Alcotest.(check bool)
+    (Printf.sprintf "appends cost more when large (%d > %d)" big_cost small_cost)
+    true (big_cost > small_cost)
+
+let test_fs_churn_scatters_blocks () =
+  let _, fs = mk_fs ~churn:7 () in
+  let file = ok (Baseline.Indirect_fs.create_file fs "scattered") in
+  for _ = 1 to 20 do
+    ok (Baseline.Indirect_fs.append fs file (String.make 1024 'd'))
+  done;
+  let blocks = Baseline.Indirect_fs.blocks_of_file fs file in
+  let contiguous =
+    let rec go = function
+      | a :: (b :: _ as rest) -> (b = a + 1) && go rest
+      | _ -> true
+    in
+    go blocks
+  in
+  Alcotest.(check bool) "blocks scattered by churn" false contiguous
+
+(* ----------------------------- skip chain ----------------------------- *)
+
+let test_skip_chain_hops_logarithmic () =
+  let c = Baseline.Skip_chain.create ~block_entries:10 in
+  for _ = 1 to 100_000 do
+    Baseline.Skip_chain.append c
+  done;
+  let hops d = fst (Baseline.Skip_chain.locate_back c ~distance:d) in
+  (* Hops = popcount of the distance; bounded by log2. *)
+  Alcotest.(check int) "d=0" 0 (hops 0);
+  Alcotest.(check int) "d=1" 1 (hops 1);
+  Alcotest.(check int) "d=2^10" 1 (hops 1024);
+  Alcotest.(check bool) "d=65535 needs 16 hops" true (hops 65535 = 16);
+  Alcotest.(check bool) "bounded by log2" true (hops 99_999 <= 17)
+
+let test_skip_chain_blocks_vs_entrymap () =
+  (* The section 5.1 comparison: "our scheme requires significantly fewer
+     disk read operations, on average, to locate very distant log entries."
+     Skip-chain hops land on scattered old blocks — about popcount(d) ≈
+     log2(d)/2 uncached reads on average — while the entrymap descent reads
+     one (shared, well-known) block per level, ~log_N(d). Compare averages
+     over random distances. *)
+  let c = Baseline.Skip_chain.create ~block_entries:10 in
+  for _ = 1 to 2_000_000 do
+    Baseline.Skip_chain.append c
+  done;
+  let rng = Sim.Rng.create 99L in
+  let samples = 200 in
+  let skip_total = ref 0 and ours_total = ref 0 in
+  for _ = 1 to samples do
+    let d = 500_000 + Sim.Rng.int rng 1_000_000 in
+    let _, blocks = Baseline.Skip_chain.locate_back c ~distance:d in
+    skip_total := !skip_total + blocks;
+    (* Descent reads of the entrymap tree: one per level. *)
+    ours_total := !ours_total + Clio.Analysis.levels_for_distance ~fanout:16 ~distance:d
+  done;
+  Alcotest.(check bool)
+    (Printf.sprintf "avg skip blocks %d > avg entrymap descent reads %d" !skip_total !ours_total)
+    true
+    (!skip_total > !ours_total)
+
+(* ---------------------------- version chain ---------------------------- *)
+
+let test_version_chain_costs () =
+  let vc = Baseline.Version_chain.create () in
+  List.iter (fun b -> Baseline.Version_chain.add_version vc ~block:b) [ 10; 500; 900; 1500; 4000 ];
+  Alcotest.(check int) "versions" 5 (Baseline.Version_chain.versions vc);
+  Alcotest.(check int) "back 0 free" 0 (Baseline.Version_chain.back_cost vc ~steps:0);
+  Alcotest.(check int) "back 3 = 3 reads" 3 (Baseline.Version_chain.back_cost vc ~steps:3);
+  (* Forward from version 1 (block 500) on a 10k-block device: everything
+     after block 500 must be scanned. *)
+  Alcotest.(check int) "forward scan is brutal" 9500
+    (Baseline.Version_chain.forward_cost vc ~from_version:1 ~device_blocks:10_000)
+
+let test_version_chain_vs_log_file_forward () =
+  (* Our log files scan forward via the entrymap; Swallow cannot. *)
+  let vc = Baseline.Version_chain.create () in
+  for i = 0 to 99 do
+    Baseline.Version_chain.add_version vc ~block:(i * 100)
+  done;
+  let swallow = Baseline.Version_chain.forward_cost vc ~from_version:0 ~device_blocks:10_000 in
+  let ours = Clio.Analysis.locate_examinations ~fanout:16 ~distance:10_000 in
+  Alcotest.(check bool) "orders of magnitude apart" true (swallow > 50 * ours)
+
+(* ----------------------------- naive scan ----------------------------- *)
+
+let test_naive_scan_counts () =
+  let f = make_fixture () in
+  let a = create_log f "/a" in
+  let b = create_log f "/b" in
+  ignore (append f ~log:a "first");
+  for i = 0 to 59 do
+    ignore (append f ~log:b (Printf.sprintf "noise %d padding padding" i))
+  done;
+  ignore (ok (Clio.Server.force f.srv));
+  let st = Clio.Server.state f.srv in
+  let v = ok (Clio.State.active st) in
+  let found, examined = ok (Baseline.Naive_scan.prev_block st v ~log:a ~before:(Clio.Vol.written_limit v)) in
+  Alcotest.(check (option int)) "finds block 1" (Some 1) found;
+  Alcotest.(check bool) "examined nearly everything" true
+    (examined >= Clio.Vol.written_limit v - 2)
+
+let () =
+  run "baseline"
+    [
+      ( "indirect-fs",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_fs_write_read_roundtrip;
+          Alcotest.test_case "single indirect" `Quick test_fs_large_file_through_indirection;
+          Alcotest.test_case "double indirect" `Quick test_fs_double_indirect;
+          Alcotest.test_case "read past end" `Quick test_fs_read_past_end;
+          Alcotest.test_case "names" `Quick test_fs_names;
+          Alcotest.test_case "write amplification grows" `Quick test_fs_append_write_amplification_grows;
+          Alcotest.test_case "churn scatters" `Quick test_fs_churn_scatters_blocks;
+        ] );
+      ( "skip-chain",
+        [
+          Alcotest.test_case "logarithmic hops" `Quick test_skip_chain_hops_logarithmic;
+          Alcotest.test_case "vs entrymap" `Quick test_skip_chain_blocks_vs_entrymap;
+        ] );
+      ( "version-chain",
+        [
+          Alcotest.test_case "costs" `Quick test_version_chain_costs;
+          Alcotest.test_case "vs log files" `Quick test_version_chain_vs_log_file_forward;
+        ] );
+      ( "naive-scan",
+        [ Alcotest.test_case "counts" `Quick test_naive_scan_counts ] );
+    ]

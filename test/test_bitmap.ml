@@ -1,0 +1,134 @@
+(* Entrymap bitmaps. *)
+
+let test_set_get () =
+  let b = Clio.Bitmap.create 16 in
+  Alcotest.(check bool) "initially empty" true (Clio.Bitmap.is_empty b);
+  Clio.Bitmap.set b 0;
+  Clio.Bitmap.set b 7;
+  Clio.Bitmap.set b 15;
+  Alcotest.(check bool) "bit 0" true (Clio.Bitmap.get b 0);
+  Alcotest.(check bool) "bit 7" true (Clio.Bitmap.get b 7);
+  Alcotest.(check bool) "bit 15" true (Clio.Bitmap.get b 15);
+  Alcotest.(check bool) "bit 8" false (Clio.Bitmap.get b 8);
+  Alcotest.(check bool) "no longer empty" false (Clio.Bitmap.is_empty b)
+
+let test_out_of_range_get_false () =
+  let b = Clio.Bitmap.create 8 in
+  Alcotest.(check bool) "negative" false (Clio.Bitmap.get b (-1));
+  Alcotest.(check bool) "past end" false (Clio.Bitmap.get b 8)
+
+let test_non_multiple_of_eight () =
+  let b = Clio.Bitmap.create 5 in
+  Alcotest.(check int) "one byte" 1 (Clio.Bitmap.byte_length b);
+  Clio.Bitmap.set b 4;
+  Alcotest.(check bool) "bit 4" true (Clio.Bitmap.get b 4)
+
+let test_full () =
+  let b = Clio.Bitmap.full 12 in
+  for i = 0 to 11 do
+    Alcotest.(check bool) "all set" true (Clio.Bitmap.get b i)
+  done
+
+let test_union () =
+  let a = Clio.Bitmap.create 8 and b = Clio.Bitmap.create 8 in
+  Clio.Bitmap.set a 1;
+  Clio.Bitmap.set b 6;
+  Clio.Bitmap.union a b;
+  Alcotest.(check bool) "kept own" true (Clio.Bitmap.get a 1);
+  Alcotest.(check bool) "gained other" true (Clio.Bitmap.get a 6);
+  Alcotest.(check bool) "src untouched" false (Clio.Bitmap.get b 1)
+
+let test_copy_is_independent () =
+  let a = Clio.Bitmap.create 8 in
+  let b = Clio.Bitmap.copy a in
+  Clio.Bitmap.set a 3;
+  Alcotest.(check bool) "copy unaffected" false (Clio.Bitmap.get b 3)
+
+let test_highest_set_below () =
+  let b = Clio.Bitmap.create 16 in
+  Clio.Bitmap.set b 3;
+  Clio.Bitmap.set b 9;
+  Alcotest.(check (option int)) "below 16" (Some 9) (Clio.Bitmap.highest_set_below b 16);
+  Alcotest.(check (option int)) "below 9" (Some 3) (Clio.Bitmap.highest_set_below b 9);
+  Alcotest.(check (option int)) "below 3" None (Clio.Bitmap.highest_set_below b 3);
+  Alcotest.(check (option int)) "over-large j clamps" (Some 9) (Clio.Bitmap.highest_set_below b 100)
+
+let test_lowest_set_from () =
+  let b = Clio.Bitmap.create 16 in
+  Clio.Bitmap.set b 3;
+  Clio.Bitmap.set b 9;
+  Alcotest.(check (option int)) "from 0" (Some 3) (Clio.Bitmap.lowest_set_from b 0);
+  Alcotest.(check (option int)) "from 4" (Some 9) (Clio.Bitmap.lowest_set_from b 4);
+  Alcotest.(check (option int)) "from 10" None (Clio.Bitmap.lowest_set_from b 10);
+  Alcotest.(check (option int)) "negative j clamps" (Some 3) (Clio.Bitmap.lowest_set_from b (-5))
+
+let test_string_roundtrip () =
+  let b = Clio.Bitmap.create 19 in
+  Clio.Bitmap.set b 0;
+  Clio.Bitmap.set b 18;
+  let s = Clio.Bitmap.to_string b in
+  let b2 = Testkit.ok (Clio.Bitmap.of_string ~width:19 s) in
+  for i = 0 to 18 do
+    Alcotest.(check bool) (Printf.sprintf "bit %d" i) (Clio.Bitmap.get b i) (Clio.Bitmap.get b2 i)
+  done
+
+let test_of_string_length_check () =
+  match Clio.Bitmap.of_string ~width:16 "x" with
+  | Error (Clio.Errors.Bad_record _) -> ()
+  | _ -> Alcotest.fail "expected length mismatch"
+
+let test_pp () =
+  let b = Clio.Bitmap.create 4 in
+  Clio.Bitmap.set b 2;
+  Alcotest.(check string) "rendering" "0010" (Format.asprintf "%a" Clio.Bitmap.pp b)
+
+let prop_roundtrip =
+  Testkit.qtest "random bitmaps roundtrip"
+    QCheck2.Gen.(pair (int_range 1 128) (list_size (int_range 0 64) (int_range 0 1000)))
+    (fun (width, sets) ->
+      let b = Clio.Bitmap.create width in
+      List.iter (fun i -> if i < width then Clio.Bitmap.set b i) sets;
+      let b2 = Testkit.ok (Clio.Bitmap.of_string ~width (Clio.Bitmap.to_string b)) in
+      List.for_all (fun i -> Clio.Bitmap.get b i = Clio.Bitmap.get b2 i)
+        (List.init width Fun.id))
+
+let prop_search_consistent =
+  Testkit.qtest "highest/lowest consistent with get"
+    QCheck2.Gen.(pair (int_range 1 64) (list_size (int_range 0 32) (int_range 0 63)))
+    (fun (width, sets) ->
+      let b = Clio.Bitmap.create width in
+      List.iter (fun i -> if i < width then Clio.Bitmap.set b i) sets;
+      let model_high j =
+        let rec go i = if i < 0 then None else if Clio.Bitmap.get b i then Some i else go (i - 1) in
+        go (min (j - 1) (width - 1))
+      in
+      let model_low j =
+        let rec go i = if i >= width then None else if Clio.Bitmap.get b i then Some i else go (i + 1) in
+        go (max 0 j)
+      in
+      List.for_all
+        (fun j ->
+          Clio.Bitmap.highest_set_below b j = model_high j
+          && Clio.Bitmap.lowest_set_from b j = model_low j)
+        (List.init (width + 2) Fun.id))
+
+let () =
+  Testkit.run "bitmap"
+    [
+      ( "bitmap",
+        [
+          Alcotest.test_case "set/get" `Quick test_set_get;
+          Alcotest.test_case "out of range" `Quick test_out_of_range_get_false;
+          Alcotest.test_case "odd width" `Quick test_non_multiple_of_eight;
+          Alcotest.test_case "full" `Quick test_full;
+          Alcotest.test_case "union" `Quick test_union;
+          Alcotest.test_case "copy independent" `Quick test_copy_is_independent;
+          Alcotest.test_case "highest_set_below" `Quick test_highest_set_below;
+          Alcotest.test_case "lowest_set_from" `Quick test_lowest_set_from;
+          Alcotest.test_case "string roundtrip" `Quick test_string_roundtrip;
+          Alcotest.test_case "of_string length" `Quick test_of_string_length_check;
+          Alcotest.test_case "pp" `Quick test_pp;
+          prop_roundtrip;
+          prop_search_consistent;
+        ] );
+    ]

@@ -1,0 +1,206 @@
+(* The Figure-1 block layout: build, serialize, classify, scan both ways. *)
+
+module BF = Clio.Block_format
+
+let add b hdr ?(continues = false) payload =
+  Testkit.ok (BF.Builder.add b hdr ~continues payload)
+
+let test_empty_builder () =
+  let b = BF.Builder.create ~block_size:256 in
+  Alcotest.(check bool) "empty" true (BF.Builder.is_empty b);
+  Alcotest.(check int) "count" 0 (BF.Builder.count b);
+  let image = BF.Builder.finish b in
+  match BF.classify image with
+  | BF.Valid records -> Alcotest.(check int) "no records" 0 (Array.length records)
+  | _ -> Alcotest.fail "empty block should classify valid"
+
+let test_roundtrip_records () =
+  let b = BF.Builder.create ~block_size:256 in
+  add b (Clio.Header.make ~timestamp:10L 4) "first";
+  add b (Clio.Header.make 5) "second";
+  add b (Clio.Header.continuation 4) ~continues:true "frag";
+  let image = BF.Builder.finish b in
+  match BF.classify image with
+  | BF.Valid records ->
+    Alcotest.(check int) "three records" 3 (Array.length records);
+    Alcotest.(check string) "payload 0" "first" records.(0).BF.payload;
+    Alcotest.(check string) "payload 1" "second" records.(1).BF.payload;
+    Alcotest.(check string) "payload 2" "frag" records.(2).BF.payload;
+    Alcotest.(check bool) "continues flag" true records.(2).BF.continues;
+    Alcotest.(check bool) "not continuing" false records.(0).BF.continues;
+    Alcotest.(check (option int64)) "first ts" (Some 10L) (BF.first_timestamp records);
+    Alcotest.(check int) "indices" 1 records.(1).BF.index
+  | _ -> Alcotest.fail "classify failed"
+
+let test_builder_records_match_parse () =
+  let b = BF.Builder.create ~block_size:256 in
+  add b (Clio.Header.make ~timestamp:1L 4) "abc";
+  add b (Clio.Header.make 7) "defg";
+  let virtual_view = BF.Builder.records b in
+  let parsed = Testkit.ok (BF.parse (BF.Builder.finish b)) in
+  Alcotest.(check int) "same count" (Array.length parsed) (Array.length virtual_view);
+  Array.iteri
+    (fun i r ->
+      Alcotest.(check string) "same payload" parsed.(i).BF.payload r.BF.payload;
+      Alcotest.(check int) "same id" parsed.(i).BF.header.Clio.Header.logfile
+        r.BF.header.Clio.Header.logfile)
+    virtual_view
+
+let test_free_bytes_accounting () =
+  let b = BF.Builder.create ~block_size:256 in
+  let f0 = BF.Builder.free_bytes b in
+  (* trailer 12 + index slot 2 for the would-be next record *)
+  Alcotest.(check int) "initial free" (256 - 12 - 2) f0;
+  add b (Clio.Header.make 4) "12345";
+  let f1 = BF.Builder.free_bytes b in
+  Alcotest.(check int) "after one record" (f0 - 2 (* header *) - 5 (* payload *) - 2 (* its slot *)) f1
+
+let test_overflow_rejected () =
+  let b = BF.Builder.create ~block_size:64 in
+  match BF.Builder.add b (Clio.Header.make 4) ~continues:false (String.make 64 'x') with
+  | Error (Clio.Errors.Entry_too_large _) -> ()
+  | _ -> Alcotest.fail "expected Entry_too_large"
+
+let test_fill_to_capacity () =
+  let b = BF.Builder.create ~block_size:256 in
+  let hdr () = Clio.Header.make 4 in
+  let rec fill n =
+    let free = BF.Builder.free_bytes b in
+    if free >= 3 then begin
+      add b (hdr ()) (String.make (min 5 (free - 2)) 'x');
+      fill (n + 1)
+    end
+    else n
+  in
+  let n = fill 0 in
+  Alcotest.(check bool) "packed many" true (n > 20);
+  let image = BF.Builder.finish b in
+  match BF.classify image with
+  | BF.Valid records -> Alcotest.(check int) "all parsed" n (Array.length records)
+  | _ -> Alcotest.fail "classify failed"
+
+let test_invalidated_classification () =
+  Alcotest.(check bool) "all-ones block" true
+    (BF.classify (Worm.Block_io.invalidated_block 256) = BF.Invalidated)
+
+let test_corrupt_classification () =
+  let b = BF.Builder.create ~block_size:256 in
+  add b (Clio.Header.make ~timestamp:1L 4) "data";
+  let image = BF.Builder.finish b in
+  (* Flip one payload byte: the CRC must catch it. *)
+  Bytes.set image 5 (Char.chr (Char.code (Bytes.get image 5) lxor 0x40));
+  Alcotest.(check bool) "corrupt detected" true (BF.classify image = BF.Corrupt);
+  Alcotest.(check bool) "garbage detected" true (BF.classify (Bytes.make 256 'Z') = BF.Corrupt);
+  Alcotest.(check bool) "tiny block corrupt" true (BF.classify (Bytes.make 4 'Z') = BF.Corrupt)
+
+let test_forced_flag_padding () =
+  let b = BF.Builder.create ~block_size:256 in
+  add b (Clio.Header.make ~timestamp:1L 4) "x";
+  let pad = BF.Builder.padding_if_finished b in
+  Alcotest.(check int) "padding accounts everything" (256 - 12 - 2 - 10 - 1) pad;
+  let image = BF.Builder.finish ~forced:true b in
+  Alcotest.(check bool) "still valid" true (match BF.classify image with BF.Valid _ -> true | _ -> false)
+
+let test_reset_and_reuse () =
+  let b = BF.Builder.create ~block_size:256 in
+  add b (Clio.Header.make 4) "x";
+  ignore (BF.Builder.finish b);
+  BF.Builder.reset b;
+  Alcotest.(check bool) "reset empties" true (BF.Builder.is_empty b);
+  add b (Clio.Header.make 5) "y";
+  let records = Testkit.ok (BF.parse (BF.Builder.finish b)) in
+  Alcotest.(check int) "fresh contents" 5 records.(0).BF.header.Clio.Header.logfile
+
+let test_load_restores () =
+  let b = BF.Builder.create ~block_size:256 in
+  add b (Clio.Header.make ~timestamp:2L 4) "one";
+  add b (Clio.Header.continuation 4) ~continues:true "two";
+  let records = BF.Builder.records b in
+  let b2 = BF.Builder.create ~block_size:256 in
+  Testkit.ok (BF.Builder.load b2 records);
+  Alcotest.(check bytes) "identical image" (BF.Builder.finish b) (BF.Builder.finish b2)
+
+let test_load_requires_empty () =
+  let b = BF.Builder.create ~block_size:256 in
+  add b (Clio.Header.make 4) "x";
+  match BF.Builder.load b [||] with
+  | Error (Clio.Errors.Bad_record _) -> ()
+  | _ -> Alcotest.fail "expected load on non-empty to fail"
+
+let test_max_payload_estimate () =
+  let header = Clio.Header.make ~timestamp:1L 4 in
+  let max_payload = BF.max_payload_in_empty_block ~block_size:256 ~header in
+  let b = BF.Builder.create ~block_size:256 in
+  add b header (String.make max_payload 'x');
+  Alcotest.(check int) "exactly full" 0 (BF.Builder.free_bytes b + 2);
+  let b2 = BF.Builder.create ~block_size:256 in
+  match BF.Builder.add b2 header ~continues:false (String.make (max_payload + 1) 'x') with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "one more byte should not fit"
+
+(* Random blocks roundtrip: build from random records, serialize, reparse. *)
+let gen_record =
+  QCheck2.Gen.(
+    pair
+      (pair (int_range 0 4095) (option (map Int64.of_int (int_range 0 1000000))))
+      (pair (string_size (int_range 0 40)) bool))
+
+let prop_roundtrip =
+  Testkit.qtest "random blocks roundtrip" QCheck2.Gen.(list_size (int_range 0 8) gen_record)
+    (fun records ->
+      let b = BF.Builder.create ~block_size:1024 in
+      let added =
+        List.filter
+          (fun ((id, ts), (payload, continues)) ->
+            let hdr = match ts with Some t -> Clio.Header.make ~timestamp:t id | None -> Clio.Header.make id in
+            Result.is_ok (BF.Builder.add b hdr ~continues payload))
+          records
+      in
+      match BF.classify (BF.Builder.finish b) with
+      | BF.Valid parsed ->
+        Array.length parsed = List.length added
+        && List.for_all2
+             (fun ((id, ts), (payload, continues)) r ->
+               r.BF.header.Clio.Header.logfile = id
+               && r.BF.header.Clio.Header.timestamp = ts
+               && r.BF.payload = payload && r.BF.continues = continues)
+             added (Array.to_list parsed)
+      | _ -> false)
+
+let prop_crc_catches_any_flip =
+  Testkit.qtest "any single bit flip is caught" QCheck2.Gen.(int_range 0 (256 * 8 - 1))
+    (fun bit ->
+      let b = BF.Builder.create ~block_size:256 in
+      add b (Clio.Header.make ~timestamp:1L 4) "payload bytes here";
+      let image = BF.Builder.finish b in
+      let byte = bit / 8 in
+      Bytes.set image byte (Char.chr (Char.code (Bytes.get image byte) lxor (1 lsl (bit mod 8))));
+      match BF.classify image with
+      | BF.Valid _ -> false
+      | BF.Corrupt | BF.Invalidated -> true)
+
+let () =
+  Testkit.run "block_format"
+    [
+      ( "builder",
+        [
+          Alcotest.test_case "empty" `Quick test_empty_builder;
+          Alcotest.test_case "roundtrip" `Quick test_roundtrip_records;
+          Alcotest.test_case "virtual view matches parse" `Quick test_builder_records_match_parse;
+          Alcotest.test_case "free bytes accounting" `Quick test_free_bytes_accounting;
+          Alcotest.test_case "overflow rejected" `Quick test_overflow_rejected;
+          Alcotest.test_case "fill to capacity" `Quick test_fill_to_capacity;
+          Alcotest.test_case "forced padding" `Quick test_forced_flag_padding;
+          Alcotest.test_case "reset and reuse" `Quick test_reset_and_reuse;
+          Alcotest.test_case "load restores" `Quick test_load_restores;
+          Alcotest.test_case "load requires empty" `Quick test_load_requires_empty;
+          Alcotest.test_case "max payload estimate" `Quick test_max_payload_estimate;
+          prop_roundtrip;
+        ] );
+      ( "classify",
+        [
+          Alcotest.test_case "invalidated" `Quick test_invalidated_classification;
+          Alcotest.test_case "corrupt" `Quick test_corrupt_classification;
+          prop_crc_catches_any_flip;
+        ] );
+    ]

@@ -1,0 +1,132 @@
+(* LRU and the block cache (the paper's buffer pool). *)
+
+let test_lru_basic () =
+  let l = Blockcache.Lru.create ~capacity:2 in
+  Alcotest.(check (option (pair int string))) "no eviction" None (Blockcache.Lru.add l 1 "a");
+  Alcotest.(check (option (pair int string))) "no eviction" None (Blockcache.Lru.add l 2 "b");
+  Alcotest.(check (option string)) "find 1" (Some "a") (Blockcache.Lru.find l 1);
+  (* 2 is now least-recently-used. *)
+  (match Blockcache.Lru.add l 3 "c" with
+  | Some (2, "b") -> ()
+  | _ -> Alcotest.fail "expected eviction of 2");
+  Alcotest.(check (option string)) "2 gone" None (Blockcache.Lru.find l 2);
+  Alcotest.(check int) "length" 2 (Blockcache.Lru.length l)
+
+let test_lru_replace () =
+  let l = Blockcache.Lru.create ~capacity:2 in
+  ignore (Blockcache.Lru.add l 1 "a");
+  ignore (Blockcache.Lru.add l 1 "a2");
+  Alcotest.(check int) "no duplicate" 1 (Blockcache.Lru.length l);
+  Alcotest.(check (option string)) "replaced" (Some "a2") (Blockcache.Lru.find l 1)
+
+let test_lru_peek_does_not_promote () =
+  let l = Blockcache.Lru.create ~capacity:2 in
+  ignore (Blockcache.Lru.add l 1 "a");
+  ignore (Blockcache.Lru.add l 2 "b");
+  ignore (Blockcache.Lru.peek l 1);
+  (match Blockcache.Lru.add l 3 "c" with
+  | Some (1, _) -> ()
+  | _ -> Alcotest.fail "peek should not promote")
+
+let test_lru_remove_and_clear () =
+  let l = Blockcache.Lru.create ~capacity:4 in
+  ignore (Blockcache.Lru.add l 1 "a");
+  ignore (Blockcache.Lru.add l 2 "b");
+  Blockcache.Lru.remove l 1;
+  Alcotest.(check (option string)) "removed" None (Blockcache.Lru.find l 1);
+  Blockcache.Lru.clear l;
+  Alcotest.(check int) "cleared" 0 (Blockcache.Lru.length l)
+
+let test_lru_mru_order () =
+  let l = Blockcache.Lru.create ~capacity:4 in
+  List.iter (fun k -> ignore (Blockcache.Lru.add l k "")) [ 1; 2; 3 ];
+  ignore (Blockcache.Lru.find l 1);
+  Alcotest.(check (list int)) "order" [ 1; 3; 2 ] (Blockcache.Lru.keys_mru_order l)
+
+let test_lru_stress () =
+  let l = Blockcache.Lru.create ~capacity:16 in
+  for i = 0 to 999 do
+    ignore (Blockcache.Lru.add l (i mod 40) (string_of_int i))
+  done;
+  Alcotest.(check int) "bounded" 16 (Blockcache.Lru.length l)
+
+let mk_cached () =
+  let d = Worm.Mem_device.create ~block_size:64 ~capacity:64 () in
+  let c = Blockcache.Cache.create ~capacity_blocks:4 (Worm.Mem_device.io d) in
+  (d, c, Blockcache.Cache.io c)
+
+let test_cache_read_through () =
+  let d, c, io = mk_cached () in
+  ignore (io.Worm.Block_io.append (Bytes.make 64 'a'));
+  Blockcache.Cache.drop c;
+  Blockcache.Cache.reset_counters c;
+  ignore (io.Worm.Block_io.read 0);
+  ignore (io.Worm.Block_io.read 0);
+  Alcotest.(check int) "one miss" 1 (Blockcache.Cache.misses c);
+  Alcotest.(check int) "one hit" 1 (Blockcache.Cache.hits c);
+  ignore d
+
+let test_cache_appends_inserted () =
+  let _, c, io = mk_cached () in
+  ignore (io.Worm.Block_io.append (Bytes.make 64 'a'));
+  Alcotest.(check bool) "appended block cached" true (Blockcache.Cache.contains c 0);
+  ignore (io.Worm.Block_io.read 0);
+  Alcotest.(check int) "hit without device read" 1 (Blockcache.Cache.hits c)
+
+let test_cache_eviction () =
+  let _, c, io = mk_cached () in
+  for i = 0 to 7 do
+    ignore (io.Worm.Block_io.append (Bytes.make 64 (Char.chr (97 + i))))
+  done;
+  Alcotest.(check int) "bounded" 4 (Blockcache.Cache.resident c);
+  Alcotest.(check bool) "old evicted" false (Blockcache.Cache.contains c 0);
+  Alcotest.(check bool) "new resident" true (Blockcache.Cache.contains c 7)
+
+let test_cache_invalidate_evicts () =
+  let _, c, io = mk_cached () in
+  ignore (io.Worm.Block_io.append (Bytes.make 64 'a'));
+  Result.get_ok (io.Worm.Block_io.invalidate 0);
+  Alcotest.(check bool) "evicted" false (Blockcache.Cache.contains c 0);
+  let b = Result.get_ok (io.Worm.Block_io.read 0) in
+  Alcotest.(check bool) "reads invalidated pattern" true (Worm.Block_io.is_invalidated_pattern b)
+
+let test_cache_masks_device_corruption () =
+  (* Once cached, a block stays readable even if the medium is later
+     corrupted — the paper's warm-cache behaviour. *)
+  let d, c, io = mk_cached () in
+  ignore (io.Worm.Block_io.append (Bytes.make 64 'a'));
+  Worm.Mem_device.raw_poke d 0 (Bytes.make 64 'Z');
+  Alcotest.(check bytes) "cache wins" (Bytes.make 64 'a') (Result.get_ok (io.Worm.Block_io.read 0));
+  Blockcache.Cache.drop c;
+  Alcotest.(check bytes) "device truth after drop" (Bytes.make 64 'Z')
+    (Result.get_ok (io.Worm.Block_io.read 0))
+
+let test_cache_preload () =
+  let _, c, io = mk_cached () in
+  ignore (io.Worm.Block_io.append (Bytes.make 64 'a'));
+  Blockcache.Cache.drop c;
+  Result.get_ok (Blockcache.Cache.preload c 0);
+  Alcotest.(check bool) "preloaded" true (Blockcache.Cache.contains c 0)
+
+let () =
+  Testkit.run "blockcache"
+    [
+      ( "lru",
+        [
+          Alcotest.test_case "basic" `Quick test_lru_basic;
+          Alcotest.test_case "replace" `Quick test_lru_replace;
+          Alcotest.test_case "peek no promote" `Quick test_lru_peek_does_not_promote;
+          Alcotest.test_case "remove/clear" `Quick test_lru_remove_and_clear;
+          Alcotest.test_case "mru order" `Quick test_lru_mru_order;
+          Alcotest.test_case "stress bounded" `Quick test_lru_stress;
+        ] );
+      ( "cache",
+        [
+          Alcotest.test_case "read-through" `Quick test_cache_read_through;
+          Alcotest.test_case "appends inserted" `Quick test_cache_appends_inserted;
+          Alcotest.test_case "eviction" `Quick test_cache_eviction;
+          Alcotest.test_case "invalidate evicts" `Quick test_cache_invalidate_evicts;
+          Alcotest.test_case "masks device corruption" `Quick test_cache_masks_device_corruption;
+          Alcotest.test_case "preload" `Quick test_cache_preload;
+        ] );
+    ]

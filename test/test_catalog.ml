@@ -1,0 +1,222 @@
+(* The catalog: descriptors, the sublog hierarchy, op codec and replay. *)
+
+module C = Clio.Catalog
+
+let mk () = C.create ()
+
+let create cat ~id ~parent ~name =
+  Testkit.ok (C.apply cat (C.Create { id; parent; name; perms = 0o644; created = 1L }))
+
+let test_fresh_catalog_has_internals () =
+  let cat = mk () in
+  Alcotest.(check bool) "root" true (C.exists cat Clio.Ids.root);
+  Alcotest.(check bool) "entrymap" true (C.exists cat Clio.Ids.entrymap);
+  Alcotest.(check bool) "catalog" true (C.exists cat Clio.Ids.catalog);
+  Alcotest.(check bool) "badblocks" true (C.exists cat Clio.Ids.badblocks);
+  Alcotest.(check bool) "no clients" true (C.live_descriptors cat = [])
+
+let test_create_and_resolve () =
+  let cat = mk () in
+  create cat ~id:4 ~parent:Clio.Ids.root ~name:"mail";
+  create cat ~id:5 ~parent:4 ~name:"smith";
+  let d = Testkit.ok (C.resolve_path cat "/mail/smith") in
+  Alcotest.(check int) "resolved id" 5 d.C.id;
+  Alcotest.(check string) "path back" "/mail/smith" (C.path_of cat 5);
+  Alcotest.(check string) "root path" "/" (C.path_of cat Clio.Ids.root);
+  let r = Testkit.ok (C.resolve_path cat "/") in
+  Alcotest.(check int) "root resolves" Clio.Ids.root r.C.id
+
+let test_resolve_missing () =
+  let cat = mk () in
+  (match C.resolve_path cat "/nope" with
+  | Error (Clio.Errors.No_such_log _) -> ()
+  | _ -> Alcotest.fail "expected No_such_log");
+  match C.resolve_path cat "" with
+  | Error (Clio.Errors.Invalid_name _) -> ()
+  | _ -> Alcotest.fail "expected Invalid_name"
+
+let test_duplicate_rejected () =
+  let cat = mk () in
+  create cat ~id:4 ~parent:Clio.Ids.root ~name:"mail";
+  (match C.apply cat (C.Create { id = 5; parent = Clio.Ids.root; name = "mail"; perms = 0; created = 2L }) with
+  | Error (Clio.Errors.Log_exists _) -> ()
+  | _ -> Alcotest.fail "same name under same parent must fail");
+  match C.apply cat (C.Create { id = 4; parent = Clio.Ids.root; name = "other"; perms = 0; created = 2L }) with
+  | Error (Clio.Errors.Log_exists _) -> ()
+  | _ -> Alcotest.fail "same id must fail"
+
+let test_snapshot_replay_idempotent () =
+  let cat = mk () in
+  create cat ~id:4 ~parent:Clio.Ids.root ~name:"mail";
+  (* Re-applying the identical Create (a catalog snapshot on a successor
+     volume) succeeds silently. *)
+  create cat ~id:4 ~parent:Clio.Ids.root ~name:"mail"
+
+let test_same_name_different_parents () =
+  let cat = mk () in
+  create cat ~id:4 ~parent:Clio.Ids.root ~name:"a";
+  create cat ~id:5 ~parent:Clio.Ids.root ~name:"b";
+  create cat ~id:6 ~parent:4 ~name:"x";
+  create cat ~id:7 ~parent:5 ~name:"x";
+  Alcotest.(check int) "a/x" 6 (Testkit.ok (C.resolve_path cat "/a/x")).C.id;
+  Alcotest.(check int) "b/x" 7 (Testkit.ok (C.resolve_path cat "/b/x")).C.id
+
+let test_reserved_id_rejected () =
+  let cat = mk () in
+  match C.apply cat (C.Create { id = Clio.Ids.catalog; parent = Clio.Ids.root; name = "evil"; perms = 0; created = 1L }) with
+  | Error (Clio.Errors.Bad_record _) -> ()
+  | _ -> Alcotest.fail "reserved ids must be rejected"
+
+let test_orphan_rejected () =
+  let cat = mk () in
+  match C.apply cat (C.Create { id = 4; parent = 99; name = "orphan"; perms = 0; created = 1L }) with
+  | Error (Clio.Errors.No_such_log _) -> ()
+  | _ -> Alcotest.fail "unknown parent must be rejected"
+
+let test_ancestors () =
+  let cat = mk () in
+  create cat ~id:4 ~parent:Clio.Ids.root ~name:"a";
+  create cat ~id:5 ~parent:4 ~name:"b";
+  create cat ~id:6 ~parent:5 ~name:"c";
+  Alcotest.(check (list int)) "c's ancestors" [ 5; 4 ] (C.ancestors cat 6);
+  Alcotest.(check (list int)) "top-level has none" [] (C.ancestors cat 4)
+
+let test_membership () =
+  let cat = mk () in
+  create cat ~id:4 ~parent:Clio.Ids.root ~name:"a";
+  create cat ~id:5 ~parent:4 ~name:"b";
+  create cat ~id:6 ~parent:Clio.Ids.root ~name:"other";
+  let h = Clio.Header.make 5 in
+  Alcotest.(check bool) "self" true (C.is_member cat ~log:5 h);
+  Alcotest.(check bool) "parent" true (C.is_member cat ~log:4 h);
+  Alcotest.(check bool) "root" true (C.is_member cat ~log:Clio.Ids.root h);
+  Alcotest.(check bool) "stranger" false (C.is_member cat ~log:6 h);
+  Alcotest.(check bool) "child not member of parent entry" false
+    (C.is_member cat ~log:5 (Clio.Header.make 4))
+
+let test_membership_extra_members () =
+  let cat = mk () in
+  create cat ~id:4 ~parent:Clio.Ids.root ~name:"a";
+  create cat ~id:5 ~parent:Clio.Ids.root ~name:"b";
+  create cat ~id:6 ~parent:5 ~name:"c";
+  let h = Clio.Header.make ~timestamp:1L ~extra_members:[ 6 ] 4 in
+  Alcotest.(check bool) "primary" true (C.is_member cat ~log:4 h);
+  Alcotest.(check bool) "extra" true (C.is_member cat ~log:6 h);
+  Alcotest.(check bool) "extra's ancestor" true (C.is_member cat ~log:5 h)
+
+let test_children_listing () =
+  let cat = mk () in
+  create cat ~id:4 ~parent:Clio.Ids.root ~name:"z";
+  create cat ~id:5 ~parent:Clio.Ids.root ~name:"a";
+  let kids = C.children cat Clio.Ids.root in
+  (* Internal files are included here (filtered at the server layer). *)
+  Alcotest.(check bool) "contains both" true
+    (List.exists (fun d -> d.C.id = 4) kids && List.exists (fun d -> d.C.id = 5) kids)
+
+let test_next_free_id () =
+  let cat = mk () in
+  Alcotest.(check int) "first" Clio.Ids.first_client (Testkit.ok (C.next_free_id cat));
+  create cat ~id:4 ~parent:Clio.Ids.root ~name:"a";
+  Alcotest.(check int) "next" 5 (Testkit.ok (C.next_free_id cat))
+
+let test_validate_name () =
+  let bad n =
+    match C.validate_name n with
+    | Error (Clio.Errors.Invalid_name _) -> ()
+    | _ -> Alcotest.failf "name %S should be invalid" n
+  in
+  bad "";
+  bad ".";
+  bad "..";
+  bad "a/b";
+  bad (String.make 256 'x');
+  Alcotest.(check string) "ok name" "mail" (Testkit.ok (C.validate_name "mail"));
+  Alcotest.(check string) "255 ok" (String.make 255 'x')
+    (Testkit.ok (C.validate_name (String.make 255 'x')))
+
+let test_op_codec_roundtrip () =
+  let d = { C.id = 42; parent = 4; name = "logfile-x"; perms = 0o600; created = 99L } in
+  (match Testkit.ok (C.decode_op (C.encode_op (C.Create d))) with
+  | C.Create d2 ->
+    Alcotest.(check int) "id" d.C.id d2.C.id;
+    Alcotest.(check int) "parent" d.C.parent d2.C.parent;
+    Alcotest.(check string) "name" d.C.name d2.C.name;
+    Alcotest.(check int) "perms" d.C.perms d2.C.perms;
+    Alcotest.(check int64) "created" d.C.created d2.C.created
+  | _ -> Alcotest.fail "wrong op");
+  match Testkit.ok (C.decode_op (C.encode_op (C.Set_perms { id = 7; perms = 0o400; at = 5L }))) with
+  | C.Set_perms { id = 7; perms = 0o400; at = 5L } -> ()
+  | _ -> Alcotest.fail "wrong op"
+
+let test_decode_garbage () =
+  (match C.decode_op "" with Error _ -> () | Ok _ -> Alcotest.fail "empty should fail");
+  match C.decode_op "\042rubbish" with
+  | Error (Clio.Errors.Bad_record _) -> ()
+  | _ -> Alcotest.fail "unknown kind should fail"
+
+let test_set_perms () =
+  let cat = mk () in
+  create cat ~id:4 ~parent:Clio.Ids.root ~name:"a";
+  Testkit.ok (C.apply cat (C.Set_perms { id = 4; perms = 0o400; at = 9L }));
+  Alcotest.(check int) "updated" 0o400 (Option.get (C.find cat 4)).C.perms
+
+let test_replay_stream () =
+  (* Encode a stream of ops, replay into a fresh catalog, compare. *)
+  let cat = mk () in
+  create cat ~id:4 ~parent:Clio.Ids.root ~name:"a";
+  create cat ~id:5 ~parent:4 ~name:"b";
+  Testkit.ok (C.apply cat (C.Set_perms { id = 5; perms = 0o700; at = 3L }));
+  let stream =
+    List.map C.encode_op
+      [
+        C.Create { id = 4; parent = Clio.Ids.root; name = "a"; perms = 0o644; created = 1L };
+        C.Create { id = 5; parent = 4; name = "b"; perms = 0o644; created = 1L };
+        C.Set_perms { id = 5; perms = 0o700; at = 3L };
+      ]
+  in
+  let cat2 = mk () in
+  List.iter (fun payload -> Testkit.ok (C.replay cat2 payload)) stream;
+  Alcotest.(check string) "same paths" (C.path_of cat 5) (C.path_of cat2 5);
+  Alcotest.(check int) "same perms" 0o700 (Option.get (C.find cat2 5)).C.perms
+
+let prop_name_roundtrip =
+  Testkit.qtest "create op roundtrips any valid name"
+    QCheck2.Gen.(string_size ~gen:(char_range 'a' 'z') (int_range 1 64))
+    (fun name ->
+      let d = { C.id = 10; parent = 0; name; perms = 1; created = 2L } in
+      match C.decode_op (C.encode_op (C.Create d)) with
+      | Ok (C.Create d2) -> d2.C.name = name
+      | _ -> false)
+
+let () =
+  Testkit.run "catalog"
+    [
+      ( "structure",
+        [
+          Alcotest.test_case "fresh internals" `Quick test_fresh_catalog_has_internals;
+          Alcotest.test_case "create/resolve" `Quick test_create_and_resolve;
+          Alcotest.test_case "resolve missing" `Quick test_resolve_missing;
+          Alcotest.test_case "duplicates rejected" `Quick test_duplicate_rejected;
+          Alcotest.test_case "snapshot idempotent" `Quick test_snapshot_replay_idempotent;
+          Alcotest.test_case "same name different parents" `Quick test_same_name_different_parents;
+          Alcotest.test_case "reserved id rejected" `Quick test_reserved_id_rejected;
+          Alcotest.test_case "orphan rejected" `Quick test_orphan_rejected;
+          Alcotest.test_case "children" `Quick test_children_listing;
+          Alcotest.test_case "next free id" `Quick test_next_free_id;
+          Alcotest.test_case "validate name" `Quick test_validate_name;
+          Alcotest.test_case "set perms" `Quick test_set_perms;
+        ] );
+      ( "membership",
+        [
+          Alcotest.test_case "ancestors" `Quick test_ancestors;
+          Alcotest.test_case "sublog membership" `Quick test_membership;
+          Alcotest.test_case "extra members" `Quick test_membership_extra_members;
+        ] );
+      ( "codec",
+        [
+          Alcotest.test_case "op roundtrip" `Quick test_op_codec_roundtrip;
+          Alcotest.test_case "garbage rejected" `Quick test_decode_garbage;
+          Alcotest.test_case "replay stream" `Quick test_replay_stream;
+          prop_name_roundtrip;
+        ] );
+    ]

@@ -1,0 +1,189 @@
+(* Log volume corruption (section 2.3.2): checksums, invalidation, the
+   bad-block log, and entrymap displacement fallback. *)
+
+open Testkit
+
+let poke f ~vol ~block data =
+  let dev = Hashtbl.find f.devices vol in
+  Worm.Mem_device.raw_poke dev block data;
+  drop_caches f.srv
+
+let test_corrupt_block_detected_and_skipped () =
+  let f = make_fixture () in
+  let log = create_log f "/c" in
+  for i = 0 to 99 do
+    ignore (append f ~log (Printf.sprintf "entry %02d padding padding" i))
+  done;
+  ignore (ok (Clio.Server.force f.srv));
+  poke f ~vol:0 ~block:3 (Bytes.make 256 'Z');
+  let got = all_payloads f.srv ~log in
+  Alcotest.(check bool) "some entries lost" true (List.length got < 100);
+  Alcotest.(check bool) "most entries survive" true (List.length got > 80);
+  (* Order is preserved among survivors. *)
+  let nums = List.map (fun p -> Scanf.sscanf p "entry %d" Fun.id) got in
+  Alcotest.(check bool) "sorted" true (List.sort compare nums = nums)
+
+let test_corruption_does_not_hide_later_entries () =
+  let f = make_fixture () in
+  let log = create_log f "/c2" in
+  ignore (append f ~log "early");
+  ignore (ok (Clio.Server.force f.srv));
+  for i = 0 to 49 do
+    ignore (append f ~log (Printf.sprintf "mid %d some padding here" i))
+  done;
+  ignore (ok (Clio.Server.force f.srv));
+  ignore (append f ~log "late");
+  ignore (ok (Clio.Server.force f.srv));
+  poke f ~vol:0 ~block:2 (Bytes.make 256 '\x55');
+  let got = all_payloads f.srv ~log in
+  Alcotest.(check bool) "early survives" true (List.mem "early" got);
+  Alcotest.(check bool) "late survives" true (List.mem "late" got)
+
+let test_scrub_block () =
+  let f = make_fixture () in
+  let log = create_log f "/s" in
+  for i = 0 to 49 do
+    ignore (append f ~log (Printf.sprintf "data %d" i))
+  done;
+  ignore (ok (Clio.Server.force f.srv));
+  poke f ~vol:0 ~block:2 (Bytes.make 256 'Q');
+  ok (Clio.Server.scrub_block f.srv ~vol:0 ~block:2);
+  (* After scrubbing, the block reads as cleanly invalidated. *)
+  let st = Clio.Server.state f.srv in
+  let v = ok (Clio.State.vol st 0) in
+  Alcotest.(check bool) "invalid now" true (Clio.Vol.view_block v 2 = Clio.Vol.Invalid);
+  (* Scrubbing valid or unwritten blocks is refused. *)
+  (match Clio.Server.scrub_block f.srv ~vol:0 ~block:1 with
+  | Error (Clio.Errors.Bad_record _) -> ()
+  | _ -> Alcotest.fail "must refuse valid block");
+  match Clio.Server.scrub_block f.srv ~vol:0 ~block:900 with
+  | Error (Clio.Errors.Bad_record _) -> ()
+  | _ -> Alcotest.fail "must refuse unwritten block"
+
+let test_bad_blocks_logged () =
+  let block_size = 256 in
+  let base = Worm.Mem_device.create ~block_size ~capacity:512 () in
+  let faulty = Worm.Faulty_device.create (Worm.Mem_device.io base) in
+  Worm.Faulty_device.mark_bad faulty 5;
+  Worm.Faulty_device.mark_bad faulty 9;
+  let alloc ~vol_index:_ = Ok (Worm.Faulty_device.io faulty) in
+  let clock = Sim.Clock.simulated () in
+  let config = { Clio.Config.default with block_size } in
+  let srv = ok (Clio.Server.create ~config ~clock ~alloc_volume:alloc ()) in
+  let log = ok (Clio.Server.create_log srv "/bb") in
+  for i = 0 to 99 do
+    ignore (ok (Clio.Server.append srv ~log (Printf.sprintf "entry %d with some padding" i)))
+  done;
+  ignore (ok (Clio.Server.force srv));
+  Alcotest.(check int) "all entries written" 100 (List.length (all_payloads srv ~log));
+  Alcotest.(check int) "two bad blocks hit" 2 (Clio.Server.stats srv).Clio.Stats.bad_blocks;
+  (* The bad-block log records their locations (decodable payload). *)
+  let records = all_payloads srv ~log:Clio.Ids.badblocks in
+  let decoded =
+    List.concat_map
+      (fun p ->
+        let dec = Clio.Wire.Dec.of_string p in
+        let n = ok (Clio.Wire.Dec.u16 dec) in
+        List.init n (fun _ -> ok (Clio.Wire.Dec.u32 dec)))
+      records
+  in
+  Alcotest.(check bool) "block 5 recorded" true (List.mem 5 decoded);
+  Alcotest.(check bool) "block 9 recorded" true (List.mem 9 decoded)
+
+let test_displaced_entrymap_still_found () =
+  (* Make the block where a level-1 entrymap entry belongs a bad block: the
+     entry is displaced to a later block, and locate still works via the
+     slack scan. *)
+  let block_size = 256 in
+  let fanout = 4 in
+  let base = Worm.Mem_device.create ~block_size ~capacity:512 () in
+  let faulty = Worm.Faulty_device.create (Worm.Mem_device.io base) in
+  (* Block 8 is a level-1 boundary (N=4). *)
+  Worm.Faulty_device.mark_bad faulty 8;
+  let alloc ~vol_index:_ = Ok (Worm.Faulty_device.io faulty) in
+  let clock = Sim.Clock.simulated () in
+  let config = { Clio.Config.default with block_size; fanout } in
+  let srv = ok (Clio.Server.create ~config ~clock ~alloc_volume:alloc ()) in
+  let log = ok (Clio.Server.create_log srv "/d") in
+  let filler = String.make 190 'f' in
+  for i = 0 to 59 do
+    ignore (ok (Clio.Server.append srv ~log (Printf.sprintf "%02d%s" i filler)))
+  done;
+  ignore (ok (Clio.Server.force srv));
+  (* Everything readable, forwards and backwards. *)
+  Alcotest.(check int) "forward" 60 (List.length (all_payloads srv ~log));
+  Alcotest.(check int) "backward" 60 (List.length (all_payloads_backward srv ~log));
+  (* And locate agrees with ground truth everywhere. *)
+  let st = Clio.Server.state srv in
+  let v = ok (Clio.State.active st) in
+  for pos = 1 to Clio.Vol.written_limit v do
+    let naive, _ = ok (Baseline.Naive_scan.prev_block st v ~log ~before:pos) in
+    let fast = ok (Clio.Locate.prev_block st v ~log ~before:pos) in
+    Alcotest.(check (option int)) (Printf.sprintf "prev %d" pos) naive fast
+  done
+
+let test_corrupted_entrymap_falls_back () =
+  (* Corrupt the block holding a level-1 entrymap entry *after* it was
+     written: locate must degrade to lower-level search yet stay correct. *)
+  let config = { Clio.Config.default with fanout = 4 } in
+  let f = make_fixture ~config () in
+  let log = create_log f "/fb" in
+  let filler = String.make 190 'x' in
+  for i = 0 to 40 do
+    ignore (append f ~log (Printf.sprintf "%02d%s" i filler))
+  done;
+  ignore (ok (Clio.Server.force f.srv));
+  (* Block 8 holds the map for [4,8). Corrupt it. *)
+  poke f ~vol:0 ~block:8 (Bytes.make 256 '\x99');
+  let st = Clio.Server.state f.srv in
+  let v = ok (Clio.State.active st) in
+  for pos = 1 to Clio.Vol.written_limit v do
+    let naive, _ = ok (Baseline.Naive_scan.prev_block st v ~log ~before:pos) in
+    let fast = ok (Clio.Locate.prev_block st v ~log ~before:pos) in
+    Alcotest.(check (option int)) (Printf.sprintf "prev %d with dead map" pos) naive fast
+  done
+
+let test_corruption_survives_recovery () =
+  let f = make_fixture () in
+  let log = create_log f "/cr" in
+  for i = 0 to 99 do
+    ignore (append f ~log (Printf.sprintf "entry %d padded out a bit" i))
+  done;
+  ignore (ok (Clio.Server.force f.srv));
+  poke f ~vol:0 ~block:4 (Bytes.make 256 'W');
+  let srv = crash_and_recover f in
+  let log = ok (Clio.Server.resolve srv "/cr") in
+  let got = all_payloads srv ~log in
+  Alcotest.(check bool) "survivors readable after recovery" true (List.length got > 80)
+
+let test_corrupt_volume_header_rejected () =
+  let f = make_fixture () in
+  ignore (create_log f "/x");
+  ignore (ok (Clio.Server.force f.srv));
+  let dev = Hashtbl.find f.devices 0 in
+  Worm.Mem_device.raw_poke dev 0 (Bytes.make 256 'H');
+  match
+    Clio.Server.recover ~config:f.config ~clock:f.clock ~alloc_volume:f.alloc
+      ~devices:(fixture_devices f) ()
+  with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "corrupt volume header must fail recovery"
+
+let () =
+  run "corruption"
+    [
+      ( "detection",
+        [
+          Alcotest.test_case "detected and skipped" `Quick test_corrupt_block_detected_and_skipped;
+          Alcotest.test_case "later entries visible" `Quick test_corruption_does_not_hide_later_entries;
+          Alcotest.test_case "scrub" `Quick test_scrub_block;
+          Alcotest.test_case "volume header" `Quick test_corrupt_volume_header_rejected;
+        ] );
+      ( "bad-blocks",
+        [
+          Alcotest.test_case "logged" `Quick test_bad_blocks_logged;
+          Alcotest.test_case "displaced entrymap" `Quick test_displaced_entrymap_still_found;
+          Alcotest.test_case "corrupted entrymap fallback" `Quick test_corrupted_entrymap_falls_back;
+          Alcotest.test_case "survives recovery" `Quick test_corruption_survives_recovery;
+        ] );
+    ]

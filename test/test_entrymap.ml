@@ -1,0 +1,165 @@
+(* Entrymap entries (codec) and the pending bitmaps (section 2.1). *)
+
+module EM = Clio.Entrymap
+
+let test_codec_roundtrip () =
+  let bm1 = Clio.Bitmap.create 16 and bm2 = Clio.Bitmap.create 16 in
+  Clio.Bitmap.set bm1 0;
+  Clio.Bitmap.set bm1 15;
+  Clio.Bitmap.set bm2 7;
+  let e = { EM.level = 2; base = 256; maps = [ (4, bm1); (9, bm2) ] } in
+  let e2 = Testkit.ok (EM.decode ~fanout:16 (EM.encode e)) in
+  Alcotest.(check int) "level" 2 e2.EM.level;
+  Alcotest.(check int) "base" 256 e2.EM.base;
+  Alcotest.(check int) "two files" 2 (List.length e2.EM.maps);
+  let b1 = List.assoc 4 e2.EM.maps in
+  Alcotest.(check bool) "bit 0" true (Clio.Bitmap.get b1 0);
+  Alcotest.(check bool) "bit 15" true (Clio.Bitmap.get b1 15);
+  Alcotest.(check bool) "bit 7 clear" false (Clio.Bitmap.get b1 7)
+
+let test_codec_empty_maps () =
+  let e = { EM.level = 1; base = 0; maps = [] } in
+  let e2 = Testkit.ok (EM.decode ~fanout:8 (EM.encode e)) in
+  Alcotest.(check int) "no files" 0 (List.length e2.EM.maps)
+
+let test_codec_truncated () =
+  let bm = Clio.Bitmap.create 16 in
+  let e = { EM.level = 1; base = 16; maps = [ (4, bm) ] } in
+  let s = EM.encode e in
+  match EM.decode ~fanout:16 (String.sub s 0 (String.length s - 1)) with
+  | Error (Clio.Errors.Bad_record _) -> ()
+  | _ -> Alcotest.fail "expected truncation error"
+
+let test_overhead_formula_matches_encoding () =
+  let bm = Clio.Bitmap.create 32 in
+  let e = { EM.level = 1; base = 32; maps = [ (4, bm); (5, bm); (6, bm) ] } in
+  Alcotest.(check int) "formula = actual bytes"
+    (String.length (EM.encode e))
+    (EM.entry_overhead_bytes ~fanout:32 ~files:3)
+
+(* ---------------------------- pending ---------------------------- *)
+
+let test_due_at () =
+  let p = EM.Pending.create ~fanout:4 ~levels:3 in
+  Alcotest.(check (list int)) "block 0 never due" [] (EM.Pending.due_at p ~block:0);
+  Alcotest.(check (list int)) "non-boundary" [] (EM.Pending.due_at p ~block:3);
+  Alcotest.(check (list int)) "level 1" [ 1 ] (EM.Pending.due_at p ~block:4);
+  Alcotest.(check (list int)) "levels 1,2" [ 1; 2 ] (EM.Pending.due_at p ~block:16);
+  Alcotest.(check (list int)) "levels 1,2,3" [ 1; 2; 3 ] (EM.Pending.due_at p ~block:64);
+  Alcotest.(check (list int)) "capped at levels" [ 1; 2; 3 ] (EM.Pending.due_at p ~block:256)
+
+let test_note_and_take () =
+  let p = EM.Pending.create ~fanout:4 ~levels:2 in
+  EM.Pending.note_block p ~block:1 [ 4 ];
+  EM.Pending.note_block p ~block:3 [ 4; 5 ];
+  match EM.Pending.take p ~level:1 ~boundary:4 with
+  | None -> Alcotest.fail "expected an entry"
+  | Some e ->
+    Alcotest.(check int) "base" 0 e.EM.base;
+    let b4 = List.assoc 4 e.EM.maps in
+    Alcotest.(check bool) "block 1" true (Clio.Bitmap.get b4 1);
+    Alcotest.(check bool) "block 3" true (Clio.Bitmap.get b4 3);
+    Alcotest.(check bool) "block 2 clear" false (Clio.Bitmap.get b4 2);
+    let b5 = List.assoc 5 e.EM.maps in
+    Alcotest.(check bool) "file 5 block 3" true (Clio.Bitmap.get b5 3);
+    Alcotest.(check bool) "file 5 block 1 clear" false (Clio.Bitmap.get b5 1)
+
+let test_take_clears_range () =
+  let p = EM.Pending.create ~fanout:4 ~levels:2 in
+  EM.Pending.note_block p ~block:2 [ 4 ];
+  ignore (EM.Pending.take p ~level:1 ~boundary:4);
+  Alcotest.(check bool) "second take empty" true (EM.Pending.take p ~level:1 ~boundary:4 = None);
+  (* After take the range advanced: it covers [4,8). *)
+  Alcotest.(check bool) "covers next range" true (EM.Pending.covers p ~level:1 ~base:4)
+
+let test_take_empty_range () =
+  let p = EM.Pending.create ~fanout:4 ~levels:2 in
+  Alcotest.(check bool) "nothing to take" true (EM.Pending.take p ~level:1 ~boundary:4 = None)
+
+let test_take_does_not_clobber_newer_range () =
+  (* Deferred emission: blocks of range [4,8) were already noted when the
+     take for boundary 4 finally runs. The newer accumulation must
+     survive. *)
+  let p = EM.Pending.create ~fanout:4 ~levels:2 in
+  EM.Pending.note_block p ~block:5 [ 4 ];
+  Alcotest.(check bool) "stale take yields nothing" true (EM.Pending.take p ~level:1 ~boundary:4 = None);
+  match EM.Pending.take p ~level:1 ~boundary:8 with
+  | None -> Alcotest.fail "newer range lost"
+  | Some e ->
+    Alcotest.(check bool) "bit for block 5 kept" true (Clio.Bitmap.get (List.assoc 4 e.EM.maps) 1)
+
+let test_levels_accumulate_independently () =
+  let p = EM.Pending.create ~fanout:4 ~levels:2 in
+  EM.Pending.note_block p ~block:1 [ 4 ];
+  EM.Pending.note_block p ~block:9 [ 4 ];
+  (* Level 2 covers [0,16): groups 0 (blocks 0-3) and 2 (blocks 8-11). *)
+  match EM.Pending.take p ~level:2 ~boundary:16 with
+  | None -> Alcotest.fail "expected level-2 entry"
+  | Some e ->
+    let bm = List.assoc 4 e.EM.maps in
+    Alcotest.(check bool) "group 0" true (Clio.Bitmap.get bm 0);
+    Alcotest.(check bool) "group 2" true (Clio.Bitmap.get bm 2);
+    Alcotest.(check bool) "group 1 clear" false (Clio.Bitmap.get bm 1)
+
+let test_query () =
+  let p = EM.Pending.create ~fanout:4 ~levels:2 in
+  EM.Pending.note_block p ~block:5 [ 4 ];
+  (match EM.Pending.query p ~level:1 ~base:4 4 with
+  | Some bm -> Alcotest.(check bool) "bit 1" true (Clio.Bitmap.get bm 1)
+  | None -> Alcotest.fail "range should be covered");
+  (match EM.Pending.query p ~level:1 ~base:4 99 with
+  | Some bm -> Alcotest.(check bool) "unknown file empty" true (Clio.Bitmap.is_empty bm)
+  | None -> Alcotest.fail "covered range, unknown file");
+  Alcotest.(check bool) "other range not covered" true (EM.Pending.query p ~level:1 ~base:0 4 = None)
+
+let test_seed_single_level () =
+  let p = EM.Pending.create ~fanout:4 ~levels:2 in
+  EM.Pending.seed p ~level:2 ~block:5 [ 7 ];
+  (* Level 1 untouched. *)
+  Alcotest.(check (list int)) "level 1 empty" [] (EM.Pending.files_at p ~level:1);
+  Alcotest.(check (list int)) "level 2 seeded" [ 7 ] (EM.Pending.files_at p ~level:2)
+
+let test_files_at () =
+  let p = EM.Pending.create ~fanout:4 ~levels:1 in
+  EM.Pending.note_block p ~block:1 [ 9; 4 ];
+  Alcotest.(check (list int)) "sorted files" [ 4; 9 ] (EM.Pending.files_at p ~level:1)
+
+let prop_note_take_model =
+  (* Model check: bits taken at a boundary = exactly the noted blocks of the
+     completed range, per file. *)
+  Testkit.qtest "take reflects notes"
+    QCheck2.Gen.(list_size (int_range 1 30) (pair (int_range 0 15) (int_range 4 7)))
+    (fun notes ->
+      let p = EM.Pending.create ~fanout:16 ~levels:1 in
+      List.iter (fun (blk, f) -> EM.Pending.note_block p ~block:blk [ f ]) notes;
+      match EM.Pending.take p ~level:1 ~boundary:16 with
+      | None -> notes = []
+      | Some e ->
+        List.for_all
+          (fun (blk, f) -> Clio.Bitmap.get (List.assoc f e.EM.maps) blk)
+          notes)
+
+let () =
+  Testkit.run "entrymap"
+    [
+      ( "codec",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_codec_roundtrip;
+          Alcotest.test_case "empty maps" `Quick test_codec_empty_maps;
+          Alcotest.test_case "truncated" `Quick test_codec_truncated;
+          Alcotest.test_case "overhead formula" `Quick test_overhead_formula_matches_encoding;
+        ] );
+      ( "pending",
+        [
+          Alcotest.test_case "due_at" `Quick test_due_at;
+          Alcotest.test_case "note and take" `Quick test_note_and_take;
+          Alcotest.test_case "take clears range" `Quick test_take_clears_range;
+          Alcotest.test_case "take empty range" `Quick test_take_empty_range;
+          Alcotest.test_case "take keeps newer range" `Quick test_take_does_not_clobber_newer_range;
+          Alcotest.test_case "levels independent" `Quick test_levels_accumulate_independently;
+          Alcotest.test_case "query" `Quick test_query;
+          Alcotest.test_case "seed single level" `Quick test_seed_single_level;
+          Alcotest.test_case "files_at" `Quick test_files_at;
+          prop_note_take_model;
+        ] );
+    ]

@@ -1,0 +1,145 @@
+(* Entries larger than a block: fragmentation and reassembly (Figure 1,
+   footnote 7), including entries spanning many blocks and volumes. *)
+
+open Testkit
+
+let pattern i len = String.init len (fun j -> Char.chr (33 + ((i * 31 + j) mod 94)))
+
+let test_entry_spanning_two_blocks () =
+  let f = make_fixture ~block_size:256 () in
+  let log = create_log f "/frag" in
+  let payload = pattern 1 400 in
+  ignore (append f ~log payload);
+  check_payloads "reassembled" [ payload ] (all_payloads f.srv ~log)
+
+let test_entry_spanning_many_blocks () =
+  let f = make_fixture ~block_size:256 () in
+  let log = create_log f "/frag" in
+  let payload = pattern 2 5000 in
+  ignore (append f ~log payload);
+  ignore (ok (Clio.Server.force f.srv));
+  check_payloads "20-block entry" [ payload ] (all_payloads f.srv ~log);
+  check_payloads "backward too" [ payload ] (all_payloads_backward f.srv ~log)
+
+let test_mixed_sizes () =
+  let f = make_fixture ~block_size:256 () in
+  let log = create_log f "/mix" in
+  let sizes = [ 0; 1; 100; 300; 7; 1200; 50; 2500; 3; 999 ] in
+  let payloads = List.mapi pattern sizes in
+  List.iter (fun p -> ignore (append f ~log p)) payloads;
+  ignore (ok (Clio.Server.force f.srv));
+  check_payloads "all reassembled in order" payloads (all_payloads f.srv ~log);
+  check_payloads "all reassembled backward" payloads (all_payloads_backward f.srv ~log)
+
+let test_interleaved_logs_with_fragments () =
+  (* Fragmented entries of one log interleave at block level with whole
+     entries of siblings; both must read back cleanly. *)
+  let f = make_fixture ~block_size:256 () in
+  let big = create_log f "/big" in
+  let small = create_log f "/small" in
+  let bigs = List.init 10 (fun i -> pattern i 700) in
+  let smalls = List.init 10 (fun i -> Printf.sprintf "s%d" i) in
+  List.iteri
+    (fun i (b, s) ->
+      ignore (append f ~log:big b);
+      ignore (append f ~log:small s);
+      ignore i)
+    (List.combine bigs smalls);
+  ignore (ok (Clio.Server.force f.srv));
+  check_payloads "big entries" bigs (all_payloads f.srv ~log:big);
+  check_payloads "small entries" smalls (all_payloads f.srv ~log:small);
+  check_payloads "small backward" smalls (all_payloads_backward f.srv ~log:small)
+
+let test_fragments_across_volume_boundary () =
+  let f = make_fixture ~block_size:256 ~capacity:32 () in
+  let log = create_log f "/span" in
+  let payloads = List.init 40 (fun i -> pattern i (200 + (i * 37 mod 500))) in
+  List.iter (fun p -> ignore (append f ~log p)) payloads;
+  ignore (ok (Clio.Server.force f.srv));
+  Alcotest.(check bool) "several volumes" true (Clio.Server.nvols f.srv > 2);
+  check_payloads "cross-volume reassembly" payloads (all_payloads f.srv ~log);
+  check_payloads "cross-volume backward" payloads (all_payloads_backward f.srv ~log)
+
+let test_entry_bigger_than_volume_tail () =
+  (* An entry larger than the remaining space of the active volume. *)
+  let f = make_fixture ~block_size:256 ~capacity:16 () in
+  let log = create_log f "/huge" in
+  let payload = pattern 9 (16 * 256) in
+  ignore (append f ~log payload);
+  ignore (ok (Clio.Server.force f.srv));
+  check_payloads "entry spans volumes" [ payload ] (all_payloads f.srv ~log)
+
+let test_timestamp_identifies_fragmented_entry () =
+  let f = make_fixture ~block_size:256 () in
+  let log = create_log f "/tsf" in
+  ignore (append f ~log "before");
+  Sim.Clock.advance f.clock 1000L;
+  let ts = Option.get (append f ~log (pattern 3 900)) in
+  Sim.Clock.advance f.clock 1000L;
+  ignore (append f ~log "after");
+  let e = Option.get (ok (Clio.Server.entry_at_or_after f.srv ~log ts)) in
+  Alcotest.(check int) "found by its timestamp" 900 (String.length e.Clio.Reader.payload)
+
+let test_force_mid_stream_pure_worm () =
+  (* Without NVRAM, a force burns the partial block; entries keep flowing. *)
+  let f = make_fixture ~block_size:256 ~nvram:false ~config:{ Clio.Config.default with nvram_tail = false } () in
+  let log = create_log f "/forced" in
+  let payloads = List.init 30 (fun i -> pattern i (50 + (i mod 7) * 40)) in
+  List.iteri
+    (fun i p -> ignore (append f ~log ~force:(i mod 3 = 0) p))
+    payloads;
+  check_payloads "all entries intact" payloads (all_payloads f.srv ~log);
+  Alcotest.(check bool) "padding was burned" true
+    ((Clio.Server.stats f.srv).Clio.Stats.bytes_padding > 0)
+
+let test_force_with_nvram_no_padding_burn () =
+  let f = make_fixture ~block_size:256 () in
+  let log = create_log f "/nv" in
+  let before = (Clio.Server.stats f.srv).Clio.Stats.blocks_flushed in
+  ignore (append f ~log ~force:true "tiny");
+  ignore (append f ~log ~force:true "tiny2");
+  (* NVRAM absorbed the forces: no device block was written. *)
+  Alcotest.(check int) "no flush" before (Clio.Server.stats f.srv).Clio.Stats.blocks_flushed;
+  Alcotest.(check bool) "nvram synced" true
+    ((Clio.Server.stats f.srv).Clio.Stats.nvram_syncs >= 2);
+  check_payloads "still readable" [ "tiny"; "tiny2" ] (all_payloads f.srv ~log)
+
+let test_entry_too_large_for_header () =
+  let f = make_fixture ~block_size:64 () in
+  let log = create_log f "/small-blocks" in
+  (* Entries still work with tiny blocks... *)
+  let p = pattern 4 500 in
+  ignore (append f ~log p);
+  check_payloads "500B over 64B blocks" [ p ] (all_payloads f.srv ~log)
+
+let prop_random_sizes_roundtrip =
+  Testkit.qtest ~count:30 "random entry sizes roundtrip"
+    QCheck2.Gen.(list_size (int_range 1 25) (int_range 0 1500))
+    (fun sizes ->
+      let f = make_fixture ~block_size:256 () in
+      let log = create_log f "/q" in
+      let payloads = List.mapi pattern sizes in
+      List.iter (fun p -> ignore (append f ~log p)) payloads;
+      all_payloads f.srv ~log = payloads && all_payloads_backward f.srv ~log = payloads)
+
+let () =
+  run "fragmentation"
+    [
+      ( "reassembly",
+        [
+          Alcotest.test_case "two blocks" `Quick test_entry_spanning_two_blocks;
+          Alcotest.test_case "many blocks" `Quick test_entry_spanning_many_blocks;
+          Alcotest.test_case "mixed sizes" `Quick test_mixed_sizes;
+          Alcotest.test_case "interleaved with fragments" `Quick test_interleaved_logs_with_fragments;
+          Alcotest.test_case "across volumes" `Quick test_fragments_across_volume_boundary;
+          Alcotest.test_case "bigger than volume tail" `Quick test_entry_bigger_than_volume_tail;
+          Alcotest.test_case "timestamp identifies" `Quick test_timestamp_identifies_fragmented_entry;
+          Alcotest.test_case "tiny blocks" `Quick test_entry_too_large_for_header;
+          prop_random_sizes_roundtrip;
+        ] );
+      ( "forced-writes",
+        [
+          Alcotest.test_case "pure WORM burns padding" `Quick test_force_mid_stream_pure_worm;
+          Alcotest.test_case "NVRAM absorbs forces" `Quick test_force_with_nvram_no_padding_burn;
+        ] );
+    ]

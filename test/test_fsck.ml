@@ -1,0 +1,118 @@
+(* The verifier: healthy stores pass every invariant; injected damage is
+   found and attributed. *)
+
+open Testkit
+
+let fsck ?verify_entrymap srv = ok (Clio.Server.fsck ?verify_entrymap srv)
+
+let test_fresh_store_healthy () =
+  let f = make_fixture () in
+  let r = fsck ~verify_entrymap:true f.srv in
+  Alcotest.(check bool) "healthy" true (Clio.Fsck.is_healthy r);
+  Alcotest.(check int) "one volume" 1 r.Clio.Fsck.volumes
+
+let test_busy_store_healthy () =
+  let f = make_fixture () in
+  let a = create_log f "/a" in
+  let b = create_log f "/a/b" in
+  for i = 0 to 299 do
+    ignore (append f ~log:(if i mod 3 = 0 then b else a) (Printf.sprintf "e%d" i))
+  done;
+  ignore (ok (Clio.Server.force f.srv));
+  let r = fsck ~verify_entrymap:true f.srv in
+  Alcotest.(check (list string)) "no errors" [] r.Clio.Fsck.errors;
+  Alcotest.(check bool) "healthy" true (Clio.Fsck.is_healthy r);
+  Alcotest.(check bool) "entries counted" true (r.Clio.Fsck.entries >= 300);
+  Alcotest.(check bool) "blocks counted" true (r.Clio.Fsck.valid_blocks > 10)
+
+let test_multivolume_healthy () =
+  let f =
+    make_fixture ~config:{ Clio.Config.default with fanout = 4 } ~block_size:256 ~capacity:32 ()
+  in
+  let log = create_log f "/mv" in
+  for i = 0 to 699 do
+    ignore (append f ~log (Printf.sprintf "entry %d padding padding" i))
+  done;
+  ignore (ok (Clio.Server.force f.srv));
+  let r = fsck ~verify_entrymap:true f.srv in
+  Alcotest.(check (list string)) "no errors" [] r.Clio.Fsck.errors;
+  Alcotest.(check bool) "many volumes" true (r.Clio.Fsck.volumes > 2)
+
+let test_detects_corruption () =
+  let f = make_fixture () in
+  let log = create_log f "/c" in
+  for i = 0 to 99 do
+    ignore (append f ~log (Printf.sprintf "data %d padding" i))
+  done;
+  ignore (ok (Clio.Server.force f.srv));
+  Worm.Mem_device.raw_poke (Hashtbl.find f.devices 0) 3 (Bytes.make 256 'X');
+  drop_caches f.srv;
+  let r = fsck f.srv in
+  Alcotest.(check bool) "unhealthy" false (Clio.Fsck.is_healthy r);
+  Alcotest.(check (list (pair int int))) "block attributed" [ (0, 3) ] r.Clio.Fsck.corrupt_blocks
+
+let test_scrubbed_block_is_clean () =
+  let f = make_fixture () in
+  let log = create_log f "/s" in
+  for i = 0 to 99 do
+    ignore (append f ~log (Printf.sprintf "data %d padding" i))
+  done;
+  ignore (ok (Clio.Server.force f.srv));
+  Worm.Mem_device.raw_poke (Hashtbl.find f.devices 0) 3 (Bytes.make 256 'X');
+  drop_caches f.srv;
+  ok (Clio.Server.scrub_block f.srv ~vol:0 ~block:3);
+  let r = fsck f.srv in
+  Alcotest.(check (list (pair int int))) "no corruption left" [] r.Clio.Fsck.corrupt_blocks;
+  Alcotest.(check bool) "invalidated counted" true (r.Clio.Fsck.invalidated_blocks >= 1)
+
+let test_detects_truncated_entry () =
+  (* Crash mid-fragmented-entry leaves a dangling continuation; fsck reports
+     it as truncation, not as an error. *)
+  let f = make_fixture ~block_size:256 ~nvram:false () in
+  let log = create_log f "/t" in
+  ignore (append f ~log "whole");
+  ignore (ok (Clio.Server.force f.srv));
+  ignore (append f ~log (String.make 700 'z'));
+  let srv = crash_and_recover f in
+  let r = ok (Clio.Server.fsck srv) in
+  Alcotest.(check (list string)) "no invariant errors" [] r.Clio.Fsck.errors;
+  Alcotest.(check bool) "truncation noticed" true (r.Clio.Fsck.truncated_entries <= 1)
+
+let test_entrymap_verification_catches_scan_mismatch () =
+  (* Healthy by construction: verify_entrymap on a sizeable store agrees. *)
+  let f = make_fixture ~config:{ Clio.Config.default with fanout = 4 } () in
+  let logs = Array.init 5 (fun i -> create_log f (Printf.sprintf "/l%d" i)) in
+  let rng = Sim.Rng.create 3L in
+  for i = 0 to 500 do
+    ignore (append f ~log:logs.(Sim.Rng.int rng 5) (Printf.sprintf "x%d" i))
+  done;
+  ignore (ok (Clio.Server.force f.srv));
+  let r = fsck ~verify_entrymap:true f.srv in
+  Alcotest.(check (list string)) "entrymap verified" [] r.Clio.Fsck.errors
+
+let test_healthy_after_recovery () =
+  let f = make_fixture () in
+  let log = create_log f "/r" in
+  for i = 0 to 199 do
+    ignore (append f ~log (Printf.sprintf "r%d" i))
+  done;
+  ignore (ok (Clio.Server.force f.srv));
+  let srv = crash_and_recover f in
+  let r = ok (Clio.Server.fsck ~verify_entrymap:true srv) in
+  Alcotest.(check (list string)) "no errors after recovery" [] r.Clio.Fsck.errors
+
+let () =
+  run "fsck"
+    [
+      ( "verifier",
+        [
+          Alcotest.test_case "fresh healthy" `Quick test_fresh_store_healthy;
+          Alcotest.test_case "busy healthy" `Quick test_busy_store_healthy;
+          Alcotest.test_case "multivolume healthy" `Quick test_multivolume_healthy;
+          Alcotest.test_case "detects corruption" `Quick test_detects_corruption;
+          Alcotest.test_case "scrubbed is clean" `Quick test_scrubbed_block_is_clean;
+          Alcotest.test_case "truncated entry" `Quick test_detects_truncated_entry;
+          Alcotest.test_case "entrymap verification" `Quick test_entrymap_verification_catches_scan_mismatch;
+          Alcotest.test_case "healthy after recovery" `Quick test_healthy_after_recovery;
+        ] );
+    ]

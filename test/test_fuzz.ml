@@ -1,0 +1,104 @@
+(* Corruption fuzzing: random block damage must never crash the server,
+   never corrupt what it yields, and be precisely attributed by fsck. *)
+
+open Testkit
+
+(* Build a store whose payloads are self-describing, damage random blocks,
+   and check every safety property we promise under data loss. *)
+let gen_scenario =
+  QCheck2.Gen.(
+    triple
+      (int_range 50 300) (* entries *)
+      (list_size (int_range 0 6) (int_range 1 120)) (* blocks to corrupt *)
+      bool (* recover after the damage? *))
+
+let checksum payload = Digest.to_hex (Digest.string payload)
+
+let make_payload i =
+  let body = String.make (20 + (i * 7 mod 160)) (Char.chr (97 + (i mod 26))) in
+  Printf.sprintf "%06d:%s" i body
+
+let prop_corruption_safety =
+  qtest ~count:60 "random corruption is contained" gen_scenario
+    (fun (entries, corrupt_blocks, do_recover) ->
+      let f = make_fixture ~block_size:256 ~capacity:2048 () in
+      let log = create_log f "/fz" in
+      let written = List.init entries make_payload in
+      List.iter (fun p -> ignore (append f ~log p)) written;
+      ignore (ok (Clio.Server.force f.srv));
+      let dev = Hashtbl.find f.devices 0 in
+      let rng = Sim.Rng.create (Int64.of_int entries) in
+      List.iter
+        (fun blk ->
+          (* Only damage blocks that exist. *)
+          match Worm.Mem_device.raw_peek dev blk with
+          | Some _ ->
+            Worm.Mem_device.raw_poke dev blk
+              (Bytes.init 256 (fun _ -> Char.chr (Sim.Rng.int rng 256)))
+          | None -> ())
+        corrupt_blocks;
+      drop_caches f.srv;
+      let srv = if do_recover then crash_and_recover f else f.srv in
+      match Clio.Server.resolve srv "/fz" with
+      | Error (Clio.Errors.No_such_log _) ->
+        (* The corruption destroyed the catalog record creating /fz: the
+           name is data too. Acceptable iff the damage is visible. *)
+        let report = ok (Clio.Server.fsck srv) in
+        report.Clio.Fsck.corrupt_blocks <> []
+      | Error e -> Alcotest.failf "unexpected resolve error: %s" (Clio.Errors.to_string e)
+      | Ok log ->
+      let got = all_payloads srv ~log in
+      (* 1. Every yielded payload is exactly one that was written (no
+            silent corruption slips through the CRC). *)
+      let written_set = Hashtbl.create 64 in
+      List.iter (fun p -> Hashtbl.replace written_set (checksum p) ()) written;
+      let all_genuine = List.for_all (fun p -> Hashtbl.mem written_set (checksum p)) got in
+      (* 2. Survivors appear in their original order (subsequence). *)
+      let rec is_subsequence xs ys =
+        match (xs, ys) with
+        | [], _ -> true
+        | _, [] -> false
+        | x :: xr, y :: yr -> if x = y then is_subsequence xr yr else is_subsequence xs yr
+      in
+      (* 3. Backward reads agree with forward reads. *)
+      let backward = all_payloads_backward srv ~log in
+      (* 4. fsck agrees and attributes damage to volume 0 only. *)
+      let report = ok (Clio.Server.fsck srv) in
+      let attribution_ok =
+        List.for_all (fun (v, _) -> v = 0) report.Clio.Fsck.corrupt_blocks
+      in
+      (* 5. The store remains appendable after damage. *)
+      let appendable = Result.is_ok (Clio.Server.append srv ~log "post-damage") in
+      all_genuine && is_subsequence got written && backward = got && attribution_ok
+      && appendable)
+
+let prop_invalidation_recovers_scans =
+  qtest ~count:30 "scrubbing corrupt blocks restores a healthy report" gen_scenario
+    (fun (entries, corrupt_blocks, _) ->
+      let f = make_fixture ~block_size:256 ~capacity:2048 () in
+      let log = create_log f "/fz" in
+      for i = 0 to entries - 1 do
+        ignore (append f ~log (make_payload i))
+      done;
+      ignore (ok (Clio.Server.force f.srv));
+      let dev = Hashtbl.find f.devices 0 in
+      List.iter
+        (fun blk ->
+          match Worm.Mem_device.raw_peek dev blk with
+          | Some _ -> Worm.Mem_device.raw_poke dev blk (Bytes.make 256 '\x5A')
+          | None -> ())
+        corrupt_blocks;
+      drop_caches f.srv;
+      let report = ok (Clio.Server.fsck f.srv) in
+      List.iter
+        (fun (v, b) -> ignore (ok (Clio.Server.scrub_block f.srv ~vol:v ~block:b)))
+        report.Clio.Fsck.corrupt_blocks;
+      let after = ok (Clio.Server.fsck f.srv) in
+      after.Clio.Fsck.corrupt_blocks = [])
+
+let () =
+  run "fuzz"
+    [
+      ( "corruption",
+        [ prop_corruption_safety; prop_invalidation_recovers_scans ] );
+    ]

@@ -1,0 +1,132 @@
+(* Entry-header encoding (section 2.2's 2/10-byte headers + extensions). *)
+
+let encode_to_block h =
+  let enc = Clio.Wire.Enc.create () in
+  Clio.Header.encode enc h;
+  let s = Clio.Wire.Enc.contents enc in
+  let block = Bytes.make 64 '\000' in
+  Bytes.blit_string s 0 block 0 (String.length s);
+  (block, String.length s)
+
+let roundtrip h =
+  let block, len = encode_to_block h in
+  let h2, stop = Testkit.ok (Clio.Header.decode block ~pos:0) in
+  Alcotest.(check int) "consumed bytes" len stop;
+  Alcotest.(check int) "byte_size agrees" len (Clio.Header.byte_size h);
+  h2
+
+let test_minimal () =
+  let h = Clio.Header.make 42 in
+  Alcotest.(check int) "version 1" 1 h.Clio.Header.version;
+  Alcotest.(check int) "2 bytes" 2 (Clio.Header.byte_size h);
+  let h2 = roundtrip h in
+  Alcotest.(check int) "logfile" 42 h2.Clio.Header.logfile;
+  Alcotest.(check bool) "no ts" true (h2.Clio.Header.timestamp = None)
+
+let test_timestamped () =
+  let h = Clio.Header.make ~timestamp:123456789L 7 in
+  Alcotest.(check int) "version 2" 2 h.Clio.Header.version;
+  Alcotest.(check int) "10 bytes" 10 (Clio.Header.byte_size h);
+  let h2 = roundtrip h in
+  Alcotest.(check (option int64)) "ts" (Some 123456789L) h2.Clio.Header.timestamp
+
+let test_continuation () =
+  let h = Clio.Header.continuation 9 in
+  Alcotest.(check bool) "not a start" false (Clio.Header.is_start h);
+  let h2 = roundtrip h in
+  Alcotest.(check int) "id" 9 h2.Clio.Header.logfile;
+  Alcotest.(check bool) "still continuation" false (Clio.Header.is_start h2)
+
+let test_multi_member () =
+  let h = Clio.Header.make ~timestamp:5L ~extra_members:[ 10; 11; 12 ] 9 in
+  Alcotest.(check int) "version 4" 4 h.Clio.Header.version;
+  Alcotest.(check int) "byte size" (11 + 6) (Clio.Header.byte_size h);
+  let h2 = roundtrip h in
+  Alcotest.(check (list int)) "members" [ 9; 10; 11; 12 ] (Clio.Header.members h2)
+
+let test_multi_member_without_ts_gets_one () =
+  let h = Clio.Header.make ~extra_members:[ 10 ] 9 in
+  Alcotest.(check bool) "ts forced" true (h.Clio.Header.timestamp <> None)
+
+let test_max_logfile_id () =
+  let h = Clio.Header.make 4095 in
+  let h2 = roundtrip h in
+  Alcotest.(check int) "12-bit id" 4095 h2.Clio.Header.logfile
+
+let test_decode_truncated () =
+  let block = Bytes.make 1 '\000' in
+  match Clio.Header.decode block ~pos:0 with
+  | Error (Clio.Errors.Bad_record _) -> ()
+  | _ -> Alcotest.fail "expected truncation error"
+
+let test_decode_bad_version () =
+  let block = Bytes.make 8 '\000' in
+  Clio.Wire.set_u16 block 0 ((9 lsl 12) lor 5);
+  match Clio.Header.decode block ~pos:0 with
+  | Error (Clio.Errors.Bad_record _) -> ()
+  | _ -> Alcotest.fail "expected unknown version error"
+
+let test_decode_truncated_timestamp () =
+  let block = Bytes.make 4 '\000' in
+  Clio.Wire.set_u16 block 0 ((2 lsl 12) lor 5);
+  match Clio.Header.decode block ~pos:0 with
+  | Error (Clio.Errors.Bad_record _) -> ()
+  | _ -> Alcotest.fail "expected truncated timestamp"
+
+let gen_header =
+  QCheck2.Gen.(
+    let id = int_range 0 4095 in
+    let ts = map (fun v -> Int64.of_int (abs v)) int in
+    oneof
+      [
+        map (fun i -> Clio.Header.make i) id;
+        map2 (fun i t -> Clio.Header.make ~timestamp:t i) id ts;
+        map (fun i -> Clio.Header.continuation i) id;
+        map3
+          (fun i t extras -> Clio.Header.make ~timestamp:t ~extra_members:extras i)
+          id ts
+          (list_size (int_range 1 8) id);
+      ])
+
+let prop_roundtrip =
+  Testkit.qtest "headers roundtrip" gen_header (fun h ->
+      let block, len = encode_to_block h in
+      match Clio.Header.decode block ~pos:0 with
+      | Error _ -> false
+      | Ok (h2, stop) ->
+        stop = len
+        && h2.Clio.Header.version = h.Clio.Header.version
+        && h2.Clio.Header.logfile = h.Clio.Header.logfile
+        && h2.Clio.Header.timestamp = h.Clio.Header.timestamp
+        && h2.Clio.Header.extra_members = h.Clio.Header.extra_members)
+
+let prop_decode_at_offset =
+  Testkit.qtest "decode works at any offset" QCheck2.Gen.(pair gen_header (int_range 0 20))
+    (fun (h, off) ->
+      let enc = Clio.Wire.Enc.create () in
+      Clio.Header.encode enc h;
+      let s = Clio.Wire.Enc.contents enc in
+      let block = Bytes.make 64 '\xAA' in
+      Bytes.blit_string s 0 block off (String.length s);
+      match Clio.Header.decode block ~pos:off with
+      | Ok (h2, stop) -> stop = off + String.length s && h2.Clio.Header.logfile = h.Clio.Header.logfile
+      | Error _ -> false)
+
+let () =
+  Testkit.run "header"
+    [
+      ( "header",
+        [
+          Alcotest.test_case "minimal" `Quick test_minimal;
+          Alcotest.test_case "timestamped" `Quick test_timestamped;
+          Alcotest.test_case "continuation" `Quick test_continuation;
+          Alcotest.test_case "multi-member" `Quick test_multi_member;
+          Alcotest.test_case "multi-member ts forced" `Quick test_multi_member_without_ts_gets_one;
+          Alcotest.test_case "max id" `Quick test_max_logfile_id;
+          Alcotest.test_case "decode truncated" `Quick test_decode_truncated;
+          Alcotest.test_case "decode bad version" `Quick test_decode_bad_version;
+          Alcotest.test_case "decode truncated ts" `Quick test_decode_truncated_timestamp;
+          prop_roundtrip;
+          prop_decode_at_offset;
+        ] );
+    ]

@@ -1,0 +1,290 @@
+(* The section-4 history-based applications. *)
+
+open Testkit
+
+(* ----------------------------- checkpoint ----------------------------- *)
+
+let counter_app f path =
+  ok
+    (History.Checkpoint.create f.srv ~path
+       ~encode:(fun n -> string_of_int n)
+       ~decode:(fun s ->
+         match int_of_string_opt s with
+         | Some n -> Ok n
+         | None -> Error (Clio.Errors.Bad_record s))
+       ~apply:(fun acc n -> acc + n)
+       ~init:0)
+
+let test_checkpoint_post_and_state () =
+  let f = make_fixture () in
+  let app = counter_app f "/counter" in
+  ignore (ok (History.Checkpoint.post app 5));
+  ignore (ok (History.Checkpoint.post app 7));
+  Alcotest.(check int) "cached state" 12 (History.Checkpoint.state app)
+
+let test_checkpoint_rebuild_equals_cache () =
+  let f = make_fixture () in
+  let app = counter_app f "/counter" in
+  List.iter (fun n -> ignore (ok (History.Checkpoint.post app n))) [ 1; 2; 3; 4; 5 ];
+  ok (History.Checkpoint.rebuild app ~init:0);
+  Alcotest.(check int) "rebuild equals incremental" 15 (History.Checkpoint.state app)
+
+let test_checkpoint_recovery_is_create () =
+  let f = make_fixture () in
+  let app = counter_app f "/counter" in
+  List.iter (fun n -> ignore (ok (History.Checkpoint.post app n))) [ 10; 20 ];
+  ignore (ok (Clio.Server.force f.srv));
+  let _srv = crash_and_recover f in
+  let app2 = counter_app f "/counter" in
+  Alcotest.(check int) "state recovered by replay" 30 (History.Checkpoint.state app2)
+
+let test_checkpoint_state_at_time () =
+  let f = make_fixture () in
+  let app = counter_app f "/counter" in
+  ignore (ok (History.Checkpoint.post app 1));
+  let t_mid = Option.get (ok (History.Checkpoint.post app 2)) in
+  ignore (ok (History.Checkpoint.post app 4));
+  Alcotest.(check int) "historical state" 3 (ok (History.Checkpoint.state_at app ~time:t_mid ~init:0));
+  Alcotest.(check int) "current unchanged" 7 (History.Checkpoint.state app)
+
+(* ---------------------------- file history ---------------------------- *)
+
+let test_fs_write_read () =
+  let f = make_fixture () in
+  let fs = ok (History.File_history.create f.srv ~root:"/fs") in
+  ok (History.File_history.write_file fs ~name:"readme" "v1");
+  Alcotest.(check string) "read back" "v1" (ok (History.File_history.read_file fs ~name:"readme"));
+  ok (History.File_history.write_file fs ~name:"readme" "v2 longer");
+  Alcotest.(check string) "updated" "v2 longer" (ok (History.File_history.read_file fs ~name:"readme"));
+  Alcotest.(check int) "size" 9 (ok (History.File_history.stat fs ~name:"readme")).History.File_history.size
+
+let test_fs_versions_and_time_travel () =
+  let f = make_fixture () in
+  let fs = ok (History.File_history.create f.srv ~root:"/fs") in
+  ok (History.File_history.write_file fs ~name:"doc" "draft");
+  Sim.Clock.advance f.clock 1000L;
+  ok (History.File_history.write_file fs ~name:"doc" "final");
+  let versions = ok (History.File_history.versions fs ~name:"doc") in
+  Alcotest.(check int) "two versions" 2 (List.length versions);
+  let t1 = List.nth versions 0 in
+  Alcotest.(check (option string)) "earlier version readable" (Some "draft")
+    (ok (History.File_history.read_file_at fs ~name:"doc" ~time:t1));
+  Alcotest.(check (option string)) "before creation: absent" None
+    (ok (History.File_history.read_file_at fs ~name:"doc" ~time:(Int64.sub t1 1L)))
+
+let test_fs_remove_is_logged_not_erased () =
+  let f = make_fixture () in
+  let fs = ok (History.File_history.create f.srv ~root:"/fs") in
+  ok (History.File_history.write_file fs ~name:"tmp" "contents");
+  let t_alive = (ok (History.File_history.stat fs ~name:"tmp")).History.File_history.mtime in
+  Sim.Clock.advance f.clock 1000L;
+  ok (History.File_history.remove fs ~name:"tmp");
+  (match History.File_history.read_file fs ~name:"tmp" with
+  | Error (Clio.Errors.No_such_log _) -> ()
+  | _ -> Alcotest.fail "removed file must not read");
+  Alcotest.(check (list string)) "not listed" [] (History.File_history.list_files fs);
+  (* ... but history remains. *)
+  Alcotest.(check (option string)) "old version still accessible" (Some "contents")
+    (ok (History.File_history.read_file_at fs ~name:"tmp" ~time:t_alive))
+
+let test_fs_chmod () =
+  let f = make_fixture () in
+  let fs = ok (History.File_history.create f.srv ~root:"/fs") in
+  ok (History.File_history.write_file fs ~name:"bin" "#!x");
+  ok (History.File_history.set_mode fs ~name:"bin" 0o755);
+  Alcotest.(check int) "mode" 0o755 (ok (History.File_history.stat fs ~name:"bin")).History.File_history.mode
+
+let test_fs_recovery () =
+  let f = make_fixture () in
+  let fs = ok (History.File_history.create f.srv ~root:"/fs") in
+  ok (History.File_history.write_file fs ~name:"a" "alpha");
+  ok (History.File_history.write_file fs ~name:"b" "beta");
+  ok (History.File_history.remove fs ~name:"a");
+  ok (History.File_history.write_file fs ~name:"b" "beta2");
+  ignore (ok (Clio.Server.force f.srv));
+  let _srv = crash_and_recover f in
+  let fs2 = ok (History.File_history.create f.srv ~root:"/fs") in
+  Alcotest.(check (list string)) "files" [ "b" ] (History.File_history.list_files fs2);
+  Alcotest.(check string) "contents" "beta2" (ok (History.File_history.read_file fs2 ~name:"b"))
+
+let test_fs_refresh_matches_incremental () =
+  let f = make_fixture () in
+  let fs = ok (History.File_history.create f.srv ~root:"/fs") in
+  for i = 0 to 30 do
+    ok (History.File_history.write_file fs ~name:(Printf.sprintf "f%d" (i mod 7)) (Printf.sprintf "v%d" i))
+  done;
+  let before = List.map (fun n -> (n, ok (History.File_history.read_file fs ~name:n))) (History.File_history.list_files fs) in
+  ok (History.File_history.refresh fs);
+  let after = List.map (fun n -> (n, ok (History.File_history.read_file fs ~name:n))) (History.File_history.list_files fs) in
+  Alcotest.(check bool) "replay equals incremental" true (before = after)
+
+(* -------------------------------- mail -------------------------------- *)
+
+let test_mail_deliver_and_list () =
+  let f = make_fixture () in
+  let m = ok (History.Mail.create f.srv) in
+  ignore (ok (History.Mail.deliver m ~mailbox:"smith" ~sender:"jones" ~subject:"hi" ~body:"hello smith"));
+  ignore (ok (History.Mail.deliver m ~mailbox:"smith" ~sender:"root" ~subject:"re: hi" ~body:"again"));
+  ignore (ok (History.Mail.deliver m ~mailbox:"jones" ~sender:"smith" ~subject:"reply" ~body:"hey"));
+  Alcotest.(check (list string)) "mailboxes" [ "jones"; "smith" ] (List.sort compare (History.Mail.mailboxes m));
+  let msgs = ok (History.Mail.messages m ~mailbox:"smith") in
+  Alcotest.(check int) "two messages" 2 (List.length msgs);
+  let first = List.hd msgs in
+  Alcotest.(check string) "sender" "jones" first.History.Mail.sender;
+  Alcotest.(check string) "subject" "hi" first.History.Mail.subject;
+  Alcotest.(check string) "body" "hello smith" first.History.Mail.body
+
+let test_mail_unread_and_pointers () =
+  let f = make_fixture () in
+  let m = ok (History.Mail.create f.srv) in
+  let t1 = ok (History.Mail.deliver m ~mailbox:"u" ~sender:"a" ~subject:"1" ~body:"x") in
+  let _t2 = ok (History.Mail.deliver m ~mailbox:"u" ~sender:"a" ~subject:"2" ~body:"y") in
+  Alcotest.(check int) "two unread" 2 (List.length (ok (History.Mail.unread m ~mailbox:"u")));
+  ok (History.Mail.mark_read m ~mailbox:"u" ~upto:t1);
+  let unread = ok (History.Mail.unread m ~mailbox:"u") in
+  Alcotest.(check int) "one unread" 1 (List.length unread);
+  Alcotest.(check string) "the right one" "2" (List.hd unread).History.Mail.subject
+
+let test_mail_messages_permanent () =
+  (* Marking read never deletes: the full history stays. *)
+  let f = make_fixture () in
+  let m = ok (History.Mail.create f.srv) in
+  let t = ok (History.Mail.deliver m ~mailbox:"u" ~sender:"a" ~subject:"s" ~body:"b") in
+  ok (History.Mail.mark_read m ~mailbox:"u" ~upto:t);
+  Alcotest.(check int) "message still there" 1 (List.length (ok (History.Mail.messages m ~mailbox:"u")))
+
+let test_mail_agent_state_recovers () =
+  let f = make_fixture () in
+  let m = ok (History.Mail.create f.srv) in
+  let t1 = ok (History.Mail.deliver m ~mailbox:"u" ~sender:"a" ~subject:"1" ~body:"x") in
+  ignore (ok (History.Mail.deliver m ~mailbox:"u" ~sender:"a" ~subject:"2" ~body:"y"));
+  ok (History.Mail.mark_read m ~mailbox:"u" ~upto:t1);
+  ignore (ok (Clio.Server.force f.srv));
+  let _srv = crash_and_recover f in
+  let m2 = ok (History.Mail.create f.srv) in
+  Alcotest.(check int64) "read pointer recovered" t1 (History.Mail.read_pointer m2 ~mailbox:"u");
+  Alcotest.(check int) "unread recovered" 1 (List.length (ok (History.Mail.unread m2 ~mailbox:"u")))
+
+let test_mail_since_filter () =
+  let f = make_fixture () in
+  let m = ok (History.Mail.create f.srv) in
+  let t1 = ok (History.Mail.deliver m ~mailbox:"u" ~sender:"a" ~subject:"old" ~body:"x") in
+  ignore (ok (History.Mail.deliver m ~mailbox:"u" ~sender:"a" ~subject:"new" ~body:"y"));
+  let recent = ok (History.Mail.messages ~since:t1 m ~mailbox:"u") in
+  Alcotest.(check int) "one recent" 1 (List.length recent);
+  Alcotest.(check string) "the new one" "new" (List.hd recent).History.Mail.subject
+
+(* -------------------------------- audit -------------------------------- *)
+
+let ev ?(outcome = History.Audit.Granted) principal action target =
+  { History.Audit.principal; action; target; outcome }
+
+let test_audit_per_principal () =
+  let f = make_fixture () in
+  let a = ok (History.Audit.create f.srv) in
+  ignore (ok (History.Audit.log_event a (ev "alice" "login" "tty0")));
+  ignore (ok (History.Audit.log_event a (ev "bob" "open" "/etc/passwd" ~outcome:History.Audit.Denied)));
+  ignore (ok (History.Audit.log_event a (ev "alice" "logout" "tty0")));
+  Alcotest.(check (list string)) "principals" [ "alice"; "bob" ]
+    (List.sort compare (History.Audit.principals a));
+  let alice = ok (History.Audit.events_for a ~principal:"alice") in
+  Alcotest.(check int) "alice has two" 2 (List.length alice);
+  Alcotest.(check string) "order preserved" "login" (List.hd alice).History.Audit.event.History.Audit.action
+
+let test_audit_time_range () =
+  let f = make_fixture () in
+  let a = ok (History.Audit.create f.srv) in
+  let stamps =
+    List.map
+      (fun i ->
+        Sim.Clock.advance f.clock 1_000_000L;
+        ok (History.Audit.log_event a (ev "u" "act" (string_of_int i))))
+      [ 0; 1; 2; 3; 4 ]
+  in
+  let t1 = List.nth stamps 1 and t3 = List.nth stamps 3 in
+  let slice = ok (History.Audit.events_between a ~from_ts:t1 ~to_ts:t3) in
+  Alcotest.(check int) "three in range" 3 (List.length slice);
+  Alcotest.(check string) "starts at 1" "1" (List.hd slice).History.Audit.event.History.Audit.target
+
+let test_audit_denial_bursts () =
+  let f = make_fixture () in
+  let a = ok (History.Audit.create f.srv) in
+  (* Three quick denials, a pause, then two more. *)
+  List.iter
+    (fun gap ->
+      Sim.Clock.advance f.clock gap;
+      ignore (ok (History.Audit.log_event a (ev "mallory" "su" "root" ~outcome:History.Audit.Denied))))
+    [ 0L; 100L; 100L; 60_000_000L; 100L ];
+  let bursts = ok (History.Audit.denial_bursts a ~principal:"mallory" ~window_us:10_000L ~threshold:3) in
+  Alcotest.(check int) "exactly one burst" 1 (List.length bursts);
+  (* Granted events never count toward bursts. *)
+  ignore (ok (History.Audit.log_event a (ev "mallory" "login" "tty" ~outcome:History.Audit.Granted)));
+  let bursts2 = ok (History.Audit.denial_bursts a ~principal:"mallory" ~window_us:10_000L ~threshold:3) in
+  Alcotest.(check int) "unchanged" 1 (List.length bursts2)
+
+let test_audit_off_hours () =
+  let day = 86_400_000_000L in
+  let f = make_fixture () in
+  let a = ok (History.Audit.create f.srv) in
+  (* 02:00 (off hours), then 12:00 (work hours). *)
+  Sim.Clock.advance f.clock (Int64.mul 2L 3_600_000_000L);
+  ignore (ok (History.Audit.log_event a (ev "nightowl" "login" "tty")));
+  Sim.Clock.advance f.clock (Int64.mul 10L 3_600_000_000L);
+  ignore (ok (History.Audit.log_event a (ev "dayjob" "login" "tty")));
+  let sus =
+    ok
+      (History.Audit.off_hours_activity a ~day_us:day
+         ~work_start:(Int64.mul 8L 3_600_000_000L)
+         ~work_end:(Int64.mul 18L 3_600_000_000L))
+  in
+  Alcotest.(check int) "one off-hours event" 1 (List.length sus);
+  Alcotest.(check string) "the night owl" "nightowl"
+    (List.hd sus).History.Audit.event.History.Audit.principal
+
+let test_audit_survives_recovery () =
+  let f = make_fixture () in
+  let a = ok (History.Audit.create f.srv) in
+  for i = 0 to 20 do
+    ignore (ok (History.Audit.log_event a (ev "carol" "op" (string_of_int i))))
+  done;
+  ignore (ok (Clio.Server.force f.srv));
+  let _srv = crash_and_recover f in
+  let a2 = ok (History.Audit.create f.srv) in
+  Alcotest.(check int) "trail intact" 21 (List.length (ok (History.Audit.events_for a2 ~principal:"carol")))
+
+let () =
+  run "history"
+    [
+      ( "checkpoint",
+        [
+          Alcotest.test_case "post and state" `Quick test_checkpoint_post_and_state;
+          Alcotest.test_case "rebuild" `Quick test_checkpoint_rebuild_equals_cache;
+          Alcotest.test_case "recovery" `Quick test_checkpoint_recovery_is_create;
+          Alcotest.test_case "state at time" `Quick test_checkpoint_state_at_time;
+        ] );
+      ( "file-history",
+        [
+          Alcotest.test_case "write/read" `Quick test_fs_write_read;
+          Alcotest.test_case "versions + time travel" `Quick test_fs_versions_and_time_travel;
+          Alcotest.test_case "remove is logged" `Quick test_fs_remove_is_logged_not_erased;
+          Alcotest.test_case "chmod" `Quick test_fs_chmod;
+          Alcotest.test_case "recovery" `Quick test_fs_recovery;
+          Alcotest.test_case "refresh equals incremental" `Quick test_fs_refresh_matches_incremental;
+        ] );
+      ( "mail",
+        [
+          Alcotest.test_case "deliver and list" `Quick test_mail_deliver_and_list;
+          Alcotest.test_case "unread and pointers" `Quick test_mail_unread_and_pointers;
+          Alcotest.test_case "messages permanent" `Quick test_mail_messages_permanent;
+          Alcotest.test_case "agent state recovers" `Quick test_mail_agent_state_recovers;
+          Alcotest.test_case "since filter" `Quick test_mail_since_filter;
+        ] );
+      ( "audit",
+        [
+          Alcotest.test_case "per principal" `Quick test_audit_per_principal;
+          Alcotest.test_case "time range" `Quick test_audit_time_range;
+          Alcotest.test_case "denial bursts" `Quick test_audit_denial_bursts;
+          Alcotest.test_case "off hours" `Quick test_audit_off_hours;
+          Alcotest.test_case "survives recovery" `Quick test_audit_survives_recovery;
+        ] );
+    ]

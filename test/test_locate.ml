@@ -1,0 +1,185 @@
+(* The entrymap search tree: locate must agree with exhaustive scanning, at
+   every fanout, and its cost must follow the section-3 analysis. *)
+
+open Testkit
+
+let fixture ~fanout ?(block_size = 256) ?(capacity = 4096) () =
+  make_fixture ~config:{ Clio.Config.default with fanout } ~block_size ~capacity ()
+
+let active f = ok (Clio.State.active (Clio.Server.state f.srv))
+
+(* Write a workload of several interleaved logs; then check prev/next block
+   queries against the Naive_scan ground truth from many positions. *)
+let locate_agrees_with_scan ~fanout ~entries ~nlogs () =
+  let f = fixture ~fanout () in
+  let logs = Array.init nlogs (fun i -> create_log f (Printf.sprintf "/l%d" i)) in
+  let rng = Sim.Rng.create 1234L in
+  for i = 0 to entries - 1 do
+    let log = logs.(Sim.Rng.int rng nlogs) in
+    ignore (append f ~log (Printf.sprintf "e%d-%d" log i))
+  done;
+  ignore (ok (Clio.Server.force f.srv));
+  let st = Clio.Server.state f.srv in
+  let v = active f in
+  let limit = Clio.Vol.written_limit v in
+  Array.iter
+    (fun log ->
+      let positions = List.init 20 (fun _ -> Sim.Rng.int rng (limit + 2)) in
+      List.iter
+        (fun pos ->
+          let expect_prev, _ = ok (Baseline.Naive_scan.prev_block st v ~log ~before:pos) in
+          let got_prev = ok (Clio.Locate.prev_block st v ~log ~before:pos) in
+          Alcotest.(check (option int))
+            (Printf.sprintf "prev log=%d before=%d" log pos)
+            expect_prev got_prev;
+          let expect_next, _ = ok (Baseline.Naive_scan.next_block st v ~log ~from:pos) in
+          let got_next = ok (Clio.Locate.next_block st v ~log ~from:pos) in
+          Alcotest.(check (option int))
+            (Printf.sprintf "next log=%d from=%d" log pos)
+            expect_next got_next)
+        positions)
+    logs
+
+let test_agrees_n4 () = locate_agrees_with_scan ~fanout:4 ~entries:600 ~nlogs:5 ()
+let test_agrees_n8 () = locate_agrees_with_scan ~fanout:8 ~entries:600 ~nlogs:3 ()
+let test_agrees_n16 () = locate_agrees_with_scan ~fanout:16 ~entries:800 ~nlogs:6 ()
+let test_agrees_n32 () = locate_agrees_with_scan ~fanout:32 ~entries:800 ~nlogs:2 ()
+
+let test_agrees_with_unflushed_tail () =
+  let f = fixture ~fanout:4 () in
+  let a = create_log f "/a" in
+  let b = create_log f "/b" in
+  for i = 0 to 99 do
+    ignore (append f ~log:a (Printf.sprintf "a%d" i))
+  done;
+  (* b only exists in the open tail. *)
+  ignore (append f ~log:b "tail-only");
+  let st = Clio.Server.state f.srv in
+  let v = active f in
+  let tail = v.Clio.Vol.tail_index in
+  Alcotest.(check (option int)) "tail found backward" (Some tail)
+    (ok (Clio.Locate.prev_block st v ~log:b ~before:max_int));
+  Alcotest.(check (option int)) "tail found forward" (Some tail)
+    (ok (Clio.Locate.next_block st v ~log:b ~from:1))
+
+let test_sparse_log_far_back () =
+  (* One entry of /rare at the very beginning, then thousands of others:
+     the search tree must find it without scanning everything. *)
+  let f = fixture ~fanout:16 ~capacity:8192 () in
+  let rare = create_log f "/rare" in
+  let noise = create_log f "/noise" in
+  ignore (append f ~log:rare "needle");
+  for i = 0 to 4999 do
+    ignore (append f ~log:noise (Printf.sprintf "hay %d" i))
+  done;
+  ignore (ok (Clio.Server.force f.srv));
+  let st = Clio.Server.state f.srv in
+  let v = active f in
+  let s0 = (Clio.Server.stats f.srv).Clio.Stats.locate_block_reads in
+  let found = ok (Clio.Locate.prev_block st v ~log:rare ~before:(Clio.Vol.written_limit v)) in
+  let reads = (Clio.Server.stats f.srv).Clio.Stats.locate_block_reads - s0 in
+  let naive, examined = ok (Baseline.Naive_scan.prev_block st v ~log:rare ~before:(Clio.Vol.written_limit v)) in
+  Alcotest.(check (option int)) "found the needle" naive found;
+  Alcotest.(check bool) "far fewer block reads than the scan"
+    true
+    (reads * 5 < examined);
+  check_payloads "reader finds it too" [ "needle" ] (all_payloads f.srv ~log:rare)
+
+let test_examination_counts_follow_table1 () =
+  (* Plant a /target entry, bury it under exactly d blocks of /noise, and
+     compare entrymap examinations with the 2k-1 analysis. Allow slack of a
+     couple: boundary effects at non-exact distances. *)
+  let fanout = 4 in
+  List.iter
+    (fun k ->
+      let d = int_of_float (float_of_int fanout ** float_of_int k) in
+      let f = fixture ~fanout ~capacity:4096 ~block_size:256 () in
+      let target = create_log f "/target" in
+      let noise = create_log f "/noise" in
+      ignore (append f ~log:target "x");
+      (* Each noise entry below fills most of a block, so entries ~ blocks. *)
+      let filler = String.make 190 'n' in
+      for _ = 1 to d do
+        ignore (append f ~log:noise filler)
+      done;
+      ignore (ok (Clio.Server.force f.srv));
+      let st = Clio.Server.state f.srv in
+      let v = active f in
+      let s0 = (Clio.Server.stats f.srv).Clio.Stats.entrymap_records_examined in
+      ignore (ok (Clio.Locate.prev_block st v ~log:target ~before:(Clio.Vol.written_limit v)));
+      let examined = (Clio.Server.stats f.srv).Clio.Stats.entrymap_records_examined - s0 in
+      let predicted = Clio.Analysis.locate_examinations ~fanout ~distance:d in
+      Alcotest.(check bool)
+        (Printf.sprintf "d=%d: %d examinations ~ predicted %d" d examined predicted)
+        true
+        (abs (examined - predicted) <= 2))
+    [ 1; 2; 3; 4 ]
+
+let test_root_log_locate () =
+  let f = fixture ~fanout:4 () in
+  let a = create_log f "/a" in
+  for i = 0 to 49 do
+    ignore (append f ~log:a (string_of_int i))
+  done;
+  ignore (ok (Clio.Server.force f.srv));
+  let st = Clio.Server.state f.srv in
+  let v = active f in
+  (* Root matches any written block. *)
+  Alcotest.(check (option int)) "next from 1" (Some 1)
+    (ok (Clio.Locate.next_block st v ~log:Clio.Ids.root ~from:1));
+  let last = ok (Clio.Locate.prev_block st v ~log:Clio.Ids.root ~before:max_int) in
+  Alcotest.(check bool) "prev finds something" true (last <> None)
+
+let test_block_contains () =
+  let f = fixture ~fanout:4 () in
+  let a = create_log f "/a" in
+  let b = create_log f "/b" in
+  ignore (append f ~log:a "data a");
+  ignore (ok (Clio.Server.force f.srv));
+  let st = Clio.Server.state f.srv in
+  let v = active f in
+  Alcotest.(check bool) "contains a" true (Clio.Locate.block_contains st v ~log:a 1);
+  Alcotest.(check bool) "not b" false (Clio.Locate.block_contains st v ~log:b 1);
+  Alcotest.(check bool) "unwritten false" false (Clio.Locate.block_contains st v ~log:a 2000)
+
+let test_read_map_at_boundary () =
+  let f = fixture ~fanout:4 () in
+  let a = create_log f "/a" in
+  let filler = String.make 190 'x' in
+  for _ = 1 to 10 do
+    ignore (append f ~log:a filler)
+  done;
+  ignore (ok (Clio.Server.force f.srv));
+  let st = Clio.Server.state f.srv in
+  let v = active f in
+  (* A level-1 map must exist at block 8 covering [4,8). *)
+  match ok (Clio.Locate.read_map st v ~level:1 ~boundary:8) with
+  | Some e ->
+    Alcotest.(check int) "level" 1 e.Clio.Entrymap.level;
+    Alcotest.(check int) "base" 4 e.Clio.Entrymap.base;
+    Alcotest.(check bool) "mentions /a" true (List.mem_assoc a e.Clio.Entrymap.maps)
+  | None -> Alcotest.fail "expected a level-1 entrymap entry at block 8"
+
+let () =
+  run "locate"
+    [
+      ( "equivalence",
+        [
+          Alcotest.test_case "N=4" `Quick test_agrees_n4;
+          Alcotest.test_case "N=8" `Quick test_agrees_n8;
+          Alcotest.test_case "N=16" `Quick test_agrees_n16;
+          Alcotest.test_case "N=32" `Quick test_agrees_n32;
+          Alcotest.test_case "unflushed tail" `Quick test_agrees_with_unflushed_tail;
+          Alcotest.test_case "root log" `Quick test_root_log_locate;
+        ] );
+      ( "efficiency",
+        [
+          Alcotest.test_case "sparse log far back" `Quick test_sparse_log_far_back;
+          Alcotest.test_case "Table-1 examination counts" `Quick test_examination_counts_follow_table1;
+        ] );
+      ( "internals",
+        [
+          Alcotest.test_case "block_contains" `Quick test_block_contains;
+          Alcotest.test_case "read_map at boundary" `Quick test_read_map_at_boundary;
+        ] );
+    ]

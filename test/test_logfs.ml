@@ -1,0 +1,175 @@
+(* The CDFS-on-log-files layer (section 5.2) and the working Swallow
+   repository (section 5.1). *)
+
+open Testkit
+
+(* -------------------------------- logfs -------------------------------- *)
+
+let mk_fs f = ok (History.Logfs.create f.srv ~root:"/cdfs")
+
+let test_write_read () =
+  let f = make_fixture () in
+  let fs = mk_fs f in
+  ok (History.Logfs.write fs ~name:"doc" ~off:0 "hello world");
+  Alcotest.(check string) "read back" "hello world" (ok (History.Logfs.read fs ~name:"doc"))
+
+let test_fragmented_update () =
+  (* The CDFS extension the paper describes: "only the modified portion of
+     a file need be rewritten each time". *)
+  let f = make_fixture () in
+  let fs = mk_fs f in
+  ok (History.Logfs.write fs ~name:"doc" ~off:0 "aaaaaaaaaa");
+  ok (History.Logfs.write fs ~name:"doc" ~off:3 "XYZ");
+  Alcotest.(check string) "patched" "aaaXYZaaaa" (ok (History.Logfs.read fs ~name:"doc"));
+  (* Only the 3 modified bytes were logged, not the whole file. *)
+  let s = Clio.Server.stats f.srv in
+  Alcotest.(check bool) "delta-sized logging" true (s.Clio.Stats.bytes_client < 60)
+
+let test_write_past_end_extends () =
+  let f = make_fixture () in
+  let fs = mk_fs f in
+  ok (History.Logfs.write fs ~name:"doc" ~off:0 "ab");
+  ok (History.Logfs.write fs ~name:"doc" ~off:5 "z");
+  let got = ok (History.Logfs.read fs ~name:"doc") in
+  Alcotest.(check int) "extended" 6 (String.length got);
+  Alcotest.(check string) "hole zero-filled" "ab\000\000\000z" got
+
+let test_truncate () =
+  let f = make_fixture () in
+  let fs = mk_fs f in
+  ok (History.Logfs.write fs ~name:"doc" ~off:0 "0123456789");
+  ok (History.Logfs.truncate fs ~name:"doc" 4);
+  Alcotest.(check string) "truncated" "0123" (ok (History.Logfs.read fs ~name:"doc"));
+  ok (History.Logfs.write fs ~name:"doc" ~off:4 "X");
+  Alcotest.(check string) "grows again" "0123X" (ok (History.Logfs.read fs ~name:"doc"))
+
+let test_versions () =
+  let f = make_fixture () in
+  let fs = mk_fs f in
+  ok (History.Logfs.write fs ~name:"doc" ~off:0 "v1");
+  Alcotest.(check int) "sealed 1" 1 (ok (History.Logfs.seal_version fs ~name:"doc"));
+  ok (History.Logfs.write fs ~name:"doc" ~off:0 "v2");
+  Alcotest.(check int) "sealed 2" 2 (ok (History.Logfs.seal_version fs ~name:"doc"));
+  ok (History.Logfs.write fs ~name:"doc" ~off:2 "+work");
+  Alcotest.(check string) "version 1" "v1" (ok (History.Logfs.read ~version:1 fs ~name:"doc"));
+  Alcotest.(check string) "version 2" "v2" (ok (History.Logfs.read ~version:2 fs ~name:"doc"));
+  Alcotest.(check string) "working" "v2+work" (ok (History.Logfs.read fs ~name:"doc"));
+  Alcotest.(check int) "count" 2 (ok (History.Logfs.versions fs ~name:"doc"));
+  match History.Logfs.read ~version:3 fs ~name:"doc" with
+  | Error Clio.Errors.No_entry -> ()
+  | _ -> Alcotest.fail "unsealed version must not read"
+
+let test_multiple_files_share_the_store () =
+  let f = make_fixture () in
+  let fs = mk_fs f in
+  ok (History.Logfs.write fs ~name:"a" ~off:0 "AAA");
+  ok (History.Logfs.write fs ~name:"b" ~off:0 "BBB");
+  ok (History.Logfs.write fs ~name:"a" ~off:3 "aa");
+  Alcotest.(check (list string)) "files" [ "a"; "b" ] (ok (History.Logfs.files fs));
+  Alcotest.(check string) "a" "AAAaa" (ok (History.Logfs.read fs ~name:"a"));
+  Alcotest.(check string) "b" "BBB" (ok (History.Logfs.read fs ~name:"b"))
+
+let test_shares_device_with_other_logs () =
+  (* The section 5.2 sharing claim: the CDFS store and ordinary log files
+     coexist on one volume sequence. *)
+  let f = make_fixture () in
+  let fs = mk_fs f in
+  let audit = create_log f "/audit" in
+  ok (History.Logfs.write fs ~name:"doc" ~off:0 "file data");
+  ignore (append f ~log:audit "audit data");
+  ok (History.Logfs.write fs ~name:"doc" ~off:0 "FILE");
+  Alcotest.(check string) "fs intact" "FILE data" (ok (History.Logfs.read fs ~name:"doc"));
+  check_payloads "log intact" [ "audit data" ] (all_payloads f.srv ~log:audit)
+
+let test_recovery_via_replay () =
+  let f = make_fixture () in
+  let fs = mk_fs f in
+  ok (History.Logfs.write fs ~name:"doc" ~off:0 "persistent");
+  ignore (ok (History.Logfs.seal_version fs ~name:"doc"));
+  ok (History.Logfs.write fs ~name:"doc" ~off:0 "PERSISTENT");
+  ignore (ok (Clio.Server.force f.srv));
+  let _srv = crash_and_recover f in
+  let fs2 = mk_fs f in
+  Alcotest.(check string) "working recovered" "PERSISTENT" (ok (History.Logfs.read fs2 ~name:"doc"));
+  Alcotest.(check string) "old version recovered" "persistent"
+    (ok (History.Logfs.read ~version:1 fs2 ~name:"doc"))
+
+(* ------------------------------- swallow ------------------------------- *)
+
+let mk_swallow () =
+  Baseline.Swallow.create (Worm.Mem_device.io (Worm.Mem_device.create ~block_size:256 ~capacity:2048 ()))
+
+let test_swallow_roundtrip () =
+  let s = mk_swallow () in
+  ignore (ok (Baseline.Swallow.write_version s 1 "v1 of object 1"));
+  ignore (ok (Baseline.Swallow.write_version s 2 "v1 of object 2"));
+  ignore (ok (Baseline.Swallow.write_version s 1 "v2 of object 1"));
+  Alcotest.(check string) "current 1" "v2 of object 1" (ok (Baseline.Swallow.read_current s 1));
+  Alcotest.(check string) "current 2" "v1 of object 2" (ok (Baseline.Swallow.read_current s 2));
+  Alcotest.(check int) "versions" 2 (Baseline.Swallow.versions s 1)
+
+let test_swallow_back_walk_costs () =
+  let s = mk_swallow () in
+  for i = 1 to 20 do
+    ignore (ok (Baseline.Swallow.write_version s 7 (Printf.sprintf "v%d" i)))
+  done;
+  let data, reads = ok (Baseline.Swallow.read_back s 7 ~steps:5) in
+  Alcotest.(check string) "five back" "v15" data;
+  Alcotest.(check int) "one read per hop" 6 reads
+
+let test_swallow_forward_scan_is_total () =
+  let s = mk_swallow () in
+  (* Interleave two objects so object 1's versions are sparse. *)
+  for i = 1 to 10 do
+    ignore (ok (Baseline.Swallow.write_version s 1 (Printf.sprintf "a%d" i)));
+    for _ = 1 to 9 do
+      ignore (ok (Baseline.Swallow.write_version s 2 "filler"))
+    done;
+    ignore i
+  done;
+  let blocks, reads = ok (Baseline.Swallow.history_forward s 1 ~from_block:0) in
+  Alcotest.(check int) "found all versions" 10 (List.length blocks);
+  Alcotest.(check int) "read every device block" 100 reads;
+  (* Ours, for contrast: locating all 10 with the entrymap costs O(10 log). *)
+  Alcotest.(check bool) "clio would be far cheaper" true
+    (10 * Clio.Analysis.locate_examinations ~fanout:16 ~distance:100 < reads)
+
+let test_swallow_rebuild_scans_everything () =
+  let s = mk_swallow () in
+  for i = 1 to 50 do
+    ignore (ok (Baseline.Swallow.write_version s (i mod 5) "data"))
+  done;
+  let examined = ok (Baseline.Swallow.rebuild_index s) in
+  Alcotest.(check int) "full scan" 50 examined;
+  Alcotest.(check string) "index correct after rebuild" "data"
+    (ok (Baseline.Swallow.read_current s 3))
+
+let test_swallow_too_large () =
+  let s = mk_swallow () in
+  match Baseline.Swallow.write_version s 1 (String.make 1000 'x') with
+  | Error (Clio.Errors.Entry_too_large _) -> ()
+  | _ -> Alcotest.fail "oversized version must fail"
+
+let () =
+  run "logfs"
+    [
+      ( "cdfs-on-log-files",
+        [
+          Alcotest.test_case "write/read" `Quick test_write_read;
+          Alcotest.test_case "fragmented update" `Quick test_fragmented_update;
+          Alcotest.test_case "write past end" `Quick test_write_past_end_extends;
+          Alcotest.test_case "truncate" `Quick test_truncate;
+          Alcotest.test_case "versions" `Quick test_versions;
+          Alcotest.test_case "multiple files" `Quick test_multiple_files_share_the_store;
+          Alcotest.test_case "shares device" `Quick test_shares_device_with_other_logs;
+          Alcotest.test_case "recovery" `Quick test_recovery_via_replay;
+        ] );
+      ( "swallow",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_swallow_roundtrip;
+          Alcotest.test_case "back walk costs" `Quick test_swallow_back_walk_costs;
+          Alcotest.test_case "forward scan total" `Quick test_swallow_forward_scan_is_total;
+          Alcotest.test_case "rebuild scans everything" `Quick test_swallow_rebuild_scans_everything;
+          Alcotest.test_case "oversized rejected" `Quick test_swallow_too_large;
+        ] );
+    ]

@@ -1,0 +1,174 @@
+(* Mirrored log devices (footnote 11) and offline volumes (section 2.1). *)
+
+open Testkit
+
+let block_valid b =
+  match Clio.Block_format.classify b with
+  | Clio.Block_format.Valid _ | Clio.Block_format.Invalidated -> true
+  | Clio.Block_format.Corrupt -> Clio.Volume.is_volume_header b
+
+let mirror_fixture () =
+  let a = Worm.Mem_device.create ~block_size:256 ~capacity:1024 () in
+  let b = Worm.Mem_device.create ~block_size:256 ~capacity:1024 () in
+  let m =
+    Result.get_ok
+      (Worm.Mirror_device.create ~validate:block_valid (Worm.Mem_device.io a)
+         (Worm.Mem_device.io b))
+  in
+  let clock = Sim.Clock.simulated () in
+  let alloc ~vol_index:_ = Ok (Worm.Mirror_device.io m) in
+  let config = { Clio.Config.default with block_size = 256 } in
+  let srv = ok (Clio.Server.create ~config ~clock ~alloc_volume:alloc ()) in
+  (srv, a, b, m)
+
+let test_mirror_geometry_check () =
+  let a = Worm.Mem_device.create ~block_size:256 ~capacity:64 () in
+  let b = Worm.Mem_device.create ~block_size:512 ~capacity:64 () in
+  match Worm.Mirror_device.create ~validate:(fun _ -> true) (Worm.Mem_device.io a) (Worm.Mem_device.io b) with
+  | Error (Worm.Block_io.Io_error _) -> ()
+  | _ -> Alcotest.fail "geometry mismatch must be rejected"
+
+let test_mirror_replicates () =
+  let srv, a, b, _ = mirror_fixture () in
+  let log = ok (Clio.Server.create_log srv "/m") in
+  for i = 0 to 49 do
+    ignore (ok (Clio.Server.append srv ~log (Printf.sprintf "entry %d" i)))
+  done;
+  ignore (ok (Clio.Server.force srv));
+  (* Both replicas hold identical data. *)
+  let ia = Worm.Mem_device.io a and ib = Worm.Mem_device.io b in
+  (match ia.Worm.Block_io.frontier () with
+  | Some fa ->
+    Alcotest.(check (option int)) "same frontier" (Some fa) (ib.Worm.Block_io.frontier ());
+    for blk = 0 to fa - 1 do
+      Alcotest.(check bytes)
+        (Printf.sprintf "block %d identical" blk)
+        (Result.get_ok (ia.Worm.Block_io.read blk))
+        (Result.get_ok (ib.Worm.Block_io.read blk))
+    done
+  | None -> Alcotest.fail "no frontier")
+
+let test_mirror_heals_primary_corruption () =
+  let srv, a, _, m = mirror_fixture () in
+  let log = ok (Clio.Server.create_log srv "/m") in
+  for i = 0 to 49 do
+    ignore (ok (Clio.Server.append srv ~log (Printf.sprintf "entry %02d padded a bit" i)))
+  done;
+  ignore (ok (Clio.Server.force srv));
+  (* Corrupt three blocks on the primary only. *)
+  List.iter (fun blk -> Worm.Mem_device.raw_poke a blk (Bytes.make 256 'Z')) [ 2; 3; 4 ];
+  drop_caches srv;
+  let got = ok (Clio.Server.fold_entries srv ~log ~init:0 (fun n _ -> n + 1)) in
+  Alcotest.(check int) "nothing lost" 50 got;
+  Alcotest.(check bool) "replica served the damage" true (Worm.Mirror_device.fallback_reads m >= 3);
+  (* fsck agrees the store is healthy through the mirror. *)
+  let r = ok (Clio.Server.fsck srv) in
+  Alcotest.(check bool) "healthy via mirror" true (Clio.Fsck.is_healthy r)
+
+let test_mirror_both_corrupt_is_visible () =
+  let srv, a, b, _ = mirror_fixture () in
+  let log = ok (Clio.Server.create_log srv "/m") in
+  for i = 0 to 49 do
+    ignore (ok (Clio.Server.append srv ~log (Printf.sprintf "entry %02d padded a bit" i)))
+  done;
+  ignore (ok (Clio.Server.force srv));
+  Worm.Mem_device.raw_poke a 2 (Bytes.make 256 'Z');
+  Worm.Mem_device.raw_poke b 2 (Bytes.make 256 'Q');
+  drop_caches srv;
+  let got = ok (Clio.Server.fold_entries srv ~log ~init:0 (fun n _ -> n + 1)) in
+  Alcotest.(check bool) "data in block 2 lost" true (got < 50)
+
+let test_mirror_survives_recovery () =
+  let srv, _, b, _ = mirror_fixture () in
+  ignore srv;
+  ignore b;
+  (* Recovery over the mirrored device works like any other. *)
+  let srv2, a2, _, m2 = mirror_fixture () in
+  let log = ok (Clio.Server.create_log srv2 "/m") in
+  for i = 0 to 29 do
+    ignore (ok (Clio.Server.append srv2 ~log (Printf.sprintf "r%d" i)))
+  done;
+  ignore (ok (Clio.Server.force srv2));
+  Worm.Mem_device.raw_poke a2 1 (Bytes.make 256 'W');
+  let clock = Sim.Clock.simulated () in
+  let config = { Clio.Config.default with block_size = 256 } in
+  let srv3 =
+    ok
+      (Clio.Server.recover ~config ~clock
+         ~alloc_volume:(fun ~vol_index:_ -> Ok (Worm.Mirror_device.io m2))
+         ~devices:[ Worm.Mirror_device.io m2 ] ())
+  in
+  let log = ok (Clio.Server.resolve srv3 "/m") in
+  Alcotest.(check int) "all entries after recovery through replica" 30
+    (ok (Clio.Server.fold_entries srv3 ~log ~init:0 (fun n _ -> n + 1)))
+
+(* ----------------------------- offline volumes ----------------------------- *)
+
+let multivolume_fixture () =
+  let f =
+    make_fixture ~config:{ Clio.Config.default with fanout = 4 } ~block_size:256 ~capacity:32 ()
+  in
+  let log = create_log f "/mv" in
+  for i = 0 to 699 do
+    ignore (append f ~log (Printf.sprintf "entry %03d padding padding" i))
+  done;
+  ignore (ok (Clio.Server.force f.srv));
+  Alcotest.(check bool) "rolled" true (Clio.Server.nvols f.srv > 2);
+  (f, log)
+
+let test_offline_blocks_reads_without_automount () =
+  let f, log = multivolume_fixture () in
+  Clio.Server.set_auto_mount f.srv false;
+  ok (Clio.Server.set_volume_offline f.srv ~vol:0);
+  Alcotest.(check bool) "offline" false (Clio.Server.volume_online f.srv ~vol:0);
+  (match Clio.Server.fold_entries f.srv ~log ~init:0 (fun n _ -> n + 1) with
+  | Error (Clio.Errors.Volume_offline 0) -> ()
+  | Error e -> Alcotest.failf "wrong error: %s" (Clio.Errors.to_string e)
+  | Ok _ -> Alcotest.fail "reading a shelved volume must fail");
+  (* Recent reads that stay on the active volume still work. *)
+  let c = ok (Clio.Server.cursor_end f.srv ~log) in
+  Alcotest.(check bool) "recent read ok" true (ok (Clio.Server.prev c) <> None)
+
+let test_automount_on_demand () =
+  let f, log = multivolume_fixture () in
+  ok (Clio.Server.set_volume_offline f.srv ~vol:0);
+  ok (Clio.Server.set_volume_offline f.srv ~vol:1);
+  (* auto_mount defaults to true: the scan remounts transparently. *)
+  let n = ok (Clio.Server.fold_entries f.srv ~log ~init:0 (fun n _ -> n + 1)) in
+  Alcotest.(check int) "everything readable" 700 n;
+  Alcotest.(check bool) "mounts counted" true (Clio.Server.auto_mounts f.srv >= 2);
+  Alcotest.(check bool) "volume back online" true (Clio.Server.volume_online f.srv ~vol:0)
+
+let test_cannot_shelve_active () =
+  let f, _ = multivolume_fixture () in
+  match Clio.Server.set_volume_offline f.srv ~vol:(Clio.Server.nvols f.srv - 1) with
+  | Error (Clio.Errors.Bad_record _) -> ()
+  | _ -> Alcotest.fail "active volume must not be shelvable"
+
+let test_manual_remount () =
+  let f, log = multivolume_fixture () in
+  Clio.Server.set_auto_mount f.srv false;
+  ok (Clio.Server.set_volume_offline f.srv ~vol:0);
+  ok (Clio.Server.set_volume_online f.srv ~vol:0);
+  Alcotest.(check int) "readable again" 700
+    (ok (Clio.Server.fold_entries f.srv ~log ~init:0 (fun n _ -> n + 1)))
+
+let () =
+  run "mirror"
+    [
+      ( "mirror-device",
+        [
+          Alcotest.test_case "geometry check" `Quick test_mirror_geometry_check;
+          Alcotest.test_case "replicates" `Quick test_mirror_replicates;
+          Alcotest.test_case "heals primary corruption" `Quick test_mirror_heals_primary_corruption;
+          Alcotest.test_case "both corrupt visible" `Quick test_mirror_both_corrupt_is_visible;
+          Alcotest.test_case "recovery via replica" `Quick test_mirror_survives_recovery;
+        ] );
+      ( "offline-volumes",
+        [
+          Alcotest.test_case "offline blocks reads" `Quick test_offline_blocks_reads_without_automount;
+          Alcotest.test_case "automount on demand" `Quick test_automount_on_demand;
+          Alcotest.test_case "cannot shelve active" `Quick test_cannot_shelve_active;
+          Alcotest.test_case "manual remount" `Quick test_manual_remount;
+        ] );
+    ]

@@ -1,0 +1,170 @@
+(* Model-based property tests: a random operation sequence is run against
+   both the real server and a trivial in-memory reference model; after every
+   run (including crashes and recoveries) the observable entry sequences
+   must match the model exactly. *)
+
+open Testkit
+
+type op =
+  | Append of int * string * bool  (* log index, payload, forced *)
+  | Force
+  | Crash  (* crash + recover; un-forced suffix may be lost *)
+
+let pp_op = function
+  | Append (l, p, f) -> Printf.sprintf "Append(%d,%dB%s)" l (String.length p) (if f then ",F" else "")
+  | Force -> "Force"
+  | Crash -> "Crash"
+
+let gen_ops =
+  QCheck2.Gen.(
+    let payload = string_size ~gen:(char_range 'a' 'z') (int_range 0 600) in
+    let op =
+      frequency
+        [
+          (12, map2 (fun l (p, f) -> Append (l, p, f)) (int_range 0 3) (pair payload bool));
+          (2, return Force);
+          (1, return Crash);
+        ]
+    in
+    list_size (int_range 1 60) op)
+
+(* The model: per log, the durable prefix and the volatile suffix. With
+   NVRAM enabled, a force makes everything so-far durable; a crash drops
+   whatever was appended after the last durability point... except entries
+   that reached the device because their block filled. Tracking block fills
+   in the model would duplicate the implementation, so the model only checks
+   a weaker-but-sharp contract:
+   - everything appended before the last force survives a crash, in order;
+   - the surviving sequence is always a prefix of everything appended;
+   - without crashes, everything survives. *)
+type model = {
+  mutable appended : (int * string) list;  (* newest first *)
+  mutable forced_mark : int;  (* length of [appended] at the last force *)
+}
+
+let run_scenario ~nvram ops =
+  let f = make_fixture ~block_size:256 ~capacity:512 ~nvram () in
+  let logs = Array.init 4 (fun i -> create_log f (Printf.sprintf "/log%d" i)) in
+  let m = { appended = []; forced_mark = 0 } in
+  let ok_or_full = function
+    | Ok _ -> true
+    | Error Clio.Errors.Sequence_full -> false
+    | Error e -> Alcotest.failf "scenario failed: %s" (Clio.Errors.to_string e)
+  in
+  let alive = ref true in
+  List.iter
+    (fun op ->
+      if !alive then
+        match op with
+        | Append (l, p, forced) ->
+          if ok_or_full (Clio.Server.append f.srv ~log:logs.(l) ~force:forced p) then begin
+            m.appended <- (l, p) :: m.appended;
+            if forced then m.forced_mark <- List.length m.appended
+          end
+          else alive := false
+        | Force ->
+          if ok_or_full (Clio.Server.force f.srv) then m.forced_mark <- List.length m.appended
+          else alive := false
+        | Crash ->
+          ignore (crash_and_recover f);
+          (* Anything not durably forced may be gone; the model keeps only
+             the guaranteed prefix and resynchronizes with reality below. *)
+          let survived l = all_payloads f.srv ~log:logs.(l) in
+          let all = List.rev m.appended in
+          let guaranteed = m.forced_mark in
+          for l = 0 to 3 do
+            let expect_guaranteed =
+              List.filteri (fun i _ -> i < guaranteed) all
+              |> List.filter_map (fun (l', p) -> if l' = l then Some p else None)
+            in
+            let got = survived l in
+            (* guaranteed prefix present *)
+            let got_prefix = List.filteri (fun i _ -> i < List.length expect_guaranteed) got in
+            if got_prefix <> expect_guaranteed then
+              Alcotest.failf "log %d lost forced entries after crash (ops: %s)" l
+                (String.concat " " (List.map pp_op ops));
+            (* whatever survived is a prefix of what was appended *)
+            let expect_all = List.filter_map (fun (l', p) -> if l' = l then Some p else None) all in
+            let expect_prefix = List.filteri (fun i _ -> i < List.length got) expect_all in
+            if got <> expect_prefix then
+              Alcotest.failf "log %d: survivors are not an append-order prefix" l
+          done;
+          (* Resynchronize the model with what actually survived. *)
+          let survivors = Array.init 4 (fun l -> ref (survived l)) in
+          let still =
+            List.filter
+              (fun (l, p) ->
+                match !(survivors.(l)) with
+                | hd :: tl when hd = p ->
+                  survivors.(l) := tl;
+                  true
+                | _ -> false)
+              all
+          in
+          m.appended <- List.rev still;
+          m.forced_mark <- List.length still)
+    ops;
+  (* Final check: live server contents equal the model, forward and
+     backward. *)
+  if !alive then begin
+    let all = List.rev m.appended in
+    for l = 0 to 3 do
+      let expect = List.filter_map (fun (l', p) -> if l' = l then Some p else None) all in
+      if all_payloads f.srv ~log:logs.(l) <> expect then
+        Alcotest.failf "log %d diverged from model (ops: %s)" l
+          (String.concat " " (List.map pp_op ops));
+      if all_payloads_backward f.srv ~log:logs.(l) <> expect then
+        Alcotest.failf "log %d backward read diverged" l
+    done
+  end;
+  true
+
+let prop_model_nvram =
+  qtest ~count:120 "random ops vs model (NVRAM)" gen_ops (run_scenario ~nvram:true)
+
+let prop_model_pure_worm =
+  qtest ~count:120 "random ops vs model (pure WORM)" gen_ops (run_scenario ~nvram:false)
+
+(* Determinism: the same scenario executed twice yields identical stats. *)
+let prop_deterministic =
+  qtest ~count:40 "scenarios are deterministic" gen_ops (fun ops ->
+      let run () =
+        let f = make_fixture ~block_size:256 ~capacity:512 () in
+        let logs = Array.init 4 (fun i -> create_log f (Printf.sprintf "/log%d" i)) in
+        List.iter
+          (fun op ->
+            match op with
+            | Append (l, p, forced) -> ignore (Clio.Server.append f.srv ~log:logs.(l) ~force:forced p)
+            | Force -> ignore (Clio.Server.force f.srv)
+            | Crash -> ignore (crash_and_recover f))
+          ops;
+        let s = Clio.Server.stats f.srv in
+        (s.Clio.Stats.blocks_flushed, s.Clio.Stats.bytes_client, s.Clio.Stats.bytes_entrymap,
+         List.map (fun l -> all_payloads f.srv ~log:l) (Array.to_list logs))
+      in
+      run () = run ())
+
+(* Reading never mutates: interleaving reads does not change what is read. *)
+let prop_reads_pure =
+  qtest ~count:40 "reads are pure" gen_ops (fun ops ->
+      let f = make_fixture ~block_size:256 ~capacity:512 () in
+      let logs = Array.init 4 (fun i -> create_log f (Printf.sprintf "/log%d" i)) in
+      List.iter
+        (fun op ->
+          match op with
+          | Append (l, p, forced) ->
+            ignore (Clio.Server.append f.srv ~log:logs.(l) ~force:forced p);
+            ignore (all_payloads f.srv ~log:logs.(l))
+          | Force -> ignore (Clio.Server.force f.srv)
+          | Crash -> ())
+        ops;
+      let once = List.map (fun l -> all_payloads f.srv ~log:l) (Array.to_list logs) in
+      let twice = List.map (fun l -> all_payloads f.srv ~log:l) (Array.to_list logs) in
+      once = twice)
+
+let () =
+  run "props"
+    [
+      ( "model",
+        [ prop_model_nvram; prop_model_pure_worm; prop_deterministic; prop_reads_pure ] );
+    ]

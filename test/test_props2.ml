@@ -1,0 +1,174 @@
+(* Second property batch: random sublog hierarchies, timestamp search
+   against a model, asynchronous identification, and salvage faithfulness. *)
+
+open Testkit
+
+(* --------------------- random hierarchies + membership --------------------- *)
+
+(* A random forest over k logs: parent.(i) < i or root. Appends go to random
+   logs; reading any log must equal the model's "self + descendants,
+   in append order". *)
+let gen_hierarchy_scenario =
+  QCheck2.Gen.(
+    let nlogs = int_range 2 8 in
+    nlogs >>= fun k ->
+    let parents = list_repeat k (int_range 0 k) in
+    (* parent.(i) in [0,i) selects a parent among earlier logs; >= i means root *)
+    let appends = list_size (int_range 1 120) (pair (int_range 0 (k - 1)) (string_size ~gen:(char_range 'a' 'z') (int_range 0 30))) in
+    map2 (fun ps aps -> (k, ps, aps)) parents appends)
+
+let prop_hierarchy_membership =
+  qtest ~count:80 "sublog reads = model over random forests" gen_hierarchy_scenario
+    (fun (k, parents, appends) ->
+      let f = make_fixture () in
+      let parent_of = Array.make k (-1) in
+      let logs =
+        Array.init k (fun i ->
+            let p = List.nth parents i in
+            let parent_path =
+              if p < i then Printf.sprintf "/n%d" p |> fun _ -> parent_of.(i) <- p
+              else parent_of.(i) <- -1
+            in
+            ignore parent_path;
+            (* Build the path from the parent chain. *)
+            let rec path j = if j < 0 then "" else path parent_of.(j) ^ Printf.sprintf "/n%d" j in
+            ok (Clio.Server.ensure_log f.srv (path i)))
+      in
+      List.iter (fun (l, payload) -> ignore (append f ~log:logs.(l) payload)) appends;
+      (* Model: log i receives appends to i and to any descendant of i. *)
+      let rec is_desc i j =
+        (* is j a descendant-or-self of i *)
+        j = i || (parent_of.(j) >= 0 && is_desc i parent_of.(j))
+      in
+      let ok_all = ref true in
+      for i = 0 to k - 1 do
+        let expect = List.filter_map (fun (l, p) -> if is_desc i l then Some p else None) appends in
+        if all_payloads f.srv ~log:logs.(i) <> expect then ok_all := false
+      done;
+      !ok_all)
+
+(* --------------------------- time search model --------------------------- *)
+
+let gen_time_scenario =
+  QCheck2.Gen.(
+    pair
+      (list_size (int_range 1 100) (int_range 0 5000)) (* inter-arrival gaps *)
+      (list_size (int_range 1 20) (int_range 0 600_000) (* query times *)))
+
+let prop_time_search_model =
+  qtest ~count:80 "entry_at_or_after = model" gen_time_scenario (fun (gaps, queries) ->
+      let f = make_fixture () in
+      let log = create_log f "/t" in
+      let stamps =
+        List.mapi
+          (fun i gap ->
+            Sim.Clock.advance f.clock (Int64.of_int gap);
+            (Option.get (append f ~log (string_of_int i)), i))
+          gaps
+      in
+      ignore (ok (Clio.Server.force f.srv));
+      List.for_all
+        (fun q ->
+          let q = Int64.of_int q in
+          let model =
+            List.find_opt (fun (ts, _) -> Int64.compare ts q >= 0) stamps
+            |> Option.map (fun (_, i) -> string_of_int i)
+          in
+          let got =
+            ok (Clio.Server.entry_at_or_after f.srv ~log q)
+            |> Option.map (fun e -> e.Clio.Reader.payload)
+          in
+          model = got)
+        queries)
+
+let prop_time_search_before_model =
+  qtest ~count:60 "entry_before = model" gen_time_scenario (fun (gaps, queries) ->
+      let f = make_fixture () in
+      let log = create_log f "/t" in
+      let stamps =
+        List.mapi
+          (fun i gap ->
+            Sim.Clock.advance f.clock (Int64.of_int gap);
+            (Option.get (append f ~log (string_of_int i)), i))
+          gaps
+      in
+      ignore (ok (Clio.Server.force f.srv));
+      List.for_all
+        (fun q ->
+          let q = Int64.of_int q in
+          let model =
+            List.filter (fun (ts, _) -> Int64.compare ts q < 0) stamps
+            |> List.rev
+            |> function
+            | (_, i) :: _ -> Some (string_of_int i)
+            | [] -> None
+          in
+          let got =
+            ok (Clio.Server.entry_before f.srv ~log q)
+            |> Option.map (fun e -> e.Clio.Reader.payload)
+          in
+          model = got)
+        queries)
+
+(* ------------------------------ entry ids ------------------------------ *)
+
+let prop_entry_id_always_found =
+  qtest ~count:40 "async ids resolve under bounded skew"
+    QCheck2.Gen.(pair (int_range 1 80) (int_range 0 900))
+    (fun (n, skew) ->
+      let f = make_fixture () in
+      let log = create_log f "/ids" in
+      let skew = Int64.of_int (skew - 450) in
+      let client_ts = Array.make n 0L in
+      for i = 0 to n - 1 do
+        Sim.Clock.advance f.clock 1000L;
+        client_ts.(i) <- Int64.add (Sim.Clock.peek f.clock) skew;
+        ignore (append f ~log (Clio.Entry_id.wrap ~seq:(Int64.of_int i) (Printf.sprintf "p%d" i)))
+      done;
+      ignore (ok (Clio.Server.force f.srv));
+      let st = Clio.Server.state f.srv in
+      List.for_all
+        (fun i ->
+          match
+            ok
+              (Clio.Entry_id.find st ~log ~seq:(Int64.of_int i) ~client_ts:client_ts.(i)
+                 ~max_skew_us:1000L)
+          with
+          | Some e -> (
+            match Clio.Entry_id.unwrap e.Clio.Reader.payload with
+            | Ok (s, _) -> Int64.to_int s = i
+            | Error _ -> false)
+          | None -> false)
+        [ 0; n / 2; n - 1 ])
+
+(* ------------------------------- salvage ------------------------------- *)
+
+let prop_salvage_faithful =
+  qtest ~count:30 "salvage preserves every log's contents"
+    QCheck2.Gen.(list_size (int_range 1 60) (pair (int_range 0 3) (string_size ~gen:(char_range 'a' 'z') (int_range 0 400))))
+    (fun appends ->
+      let src = make_fixture ~block_size:256 () in
+      let logs = Array.init 4 (fun i -> create_log src (Printf.sprintf "/s%d" i)) in
+      List.iter (fun (l, p) -> ignore (append src ~log:logs.(l) p)) appends;
+      ignore (ok (Clio.Server.force src.srv));
+      let dst = make_fixture ~block_size:256 () in
+      match Clio.Salvage.copy_sequence ~src:src.srv ~dst:dst.srv with
+      | Error _ -> false
+      | Ok r ->
+        r.Clio.Salvage.entries_copied = List.length appends
+        && Array.for_all
+             (fun log -> all_payloads src.srv ~log = all_payloads dst.srv ~log)
+             logs)
+
+let () =
+  run "props2"
+    [
+      ( "hierarchies",
+        [ prop_hierarchy_membership ] );
+      ( "time",
+        [ prop_time_search_model; prop_time_search_before_model ] );
+      ( "entry-id",
+        [ prop_entry_id_always_found ] );
+      ( "salvage",
+        [ prop_salvage_faithful ] );
+    ]

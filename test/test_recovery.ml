@@ -1,0 +1,245 @@
+(* Crash recovery (section 2.3.1): the recovered server must be
+   observationally identical to the one that crashed. *)
+
+open Testkit
+
+let observable srv ~logs =
+  List.map (fun log -> (log, all_payloads srv ~log)) logs
+
+let test_recover_empty_server () =
+  let f = make_fixture () in
+  let srv = crash_and_recover f in
+  Alcotest.(check int) "one volume" 1 (Clio.Server.nvols srv);
+  Alcotest.(check bool) "no client logs" true (ok (Clio.Server.list_logs srv "/") = [])
+
+let test_recover_preserves_entries_and_catalog () =
+  let f = make_fixture () in
+  let a = create_log f "/a" in
+  let b = create_log f "/a/b" in
+  for i = 0 to 199 do
+    ignore (append f ~log:(if i mod 3 = 0 then b else a) (Printf.sprintf "e%d" i))
+  done;
+  ignore (ok (Clio.Server.force f.srv));
+  let before = observable f.srv ~logs:[ a; b ] in
+  let srv = crash_and_recover f in
+  Alcotest.(check int) "log ids stable" a (ok (Clio.Server.resolve srv "/a"));
+  Alcotest.(check int) "sublog ids stable" b (ok (Clio.Server.resolve srv "/a/b"));
+  let after = observable srv ~logs:[ a; b ] in
+  Alcotest.(check bool) "entries identical" true (before = after)
+
+let test_unforced_tail_lost_without_nvram () =
+  (* Without a force, entries in the volatile tail are lost — the paper's
+     stated semantics ("log entries are written synchronously ... when
+     forced"). *)
+  let f = make_fixture ~nvram:false () in
+  let log = create_log f "/loss" in
+  for i = 0 to 4 do
+    ignore (append f ~log (Printf.sprintf "durable %d" i))
+  done;
+  ignore (ok (Clio.Server.force f.srv));
+  ignore (append f ~log "volatile");
+  let srv = crash_and_recover f in
+  let log = ok (Clio.Server.resolve srv "/loss") in
+  let got = all_payloads srv ~log in
+  Alcotest.(check bool) "durable entries survive" true
+    (List.filteri (fun i _ -> i < 5) got = List.init 5 (Printf.sprintf "durable %d"));
+  Alcotest.(check bool) "volatile entry gone" true (not (List.mem "volatile" got))
+
+let test_nvram_tail_survives () =
+  let f = make_fixture () in
+  let log = create_log f "/nv" in
+  ignore (append f ~log "one");
+  ignore (append f ~log ~force:true "two");
+  (* The force staged the tail in NVRAM; no device write happened. *)
+  let srv = crash_and_recover f in
+  let log = ok (Clio.Server.resolve srv "/nv") in
+  check_payloads "both entries recovered from NVRAM" [ "one"; "two" ] (all_payloads srv ~log);
+  (* And the server can keep appending right where it left off. *)
+  ignore (ok (Clio.Server.append srv ~log "three"));
+  check_payloads "continues" [ "one"; "two"; "three" ] (all_payloads srv ~log)
+
+let test_stale_nvram_ignored () =
+  let f = make_fixture () in
+  let log = create_log f "/stale" in
+  ignore (append f ~log ~force:true "a");
+  (* Fill past the staged block so it reaches the device; NVRAM now stale. *)
+  for i = 0 to 50 do
+    ignore (append f ~log (Printf.sprintf "fill %d %s" i (String.make 100 'x')))
+  done;
+  ignore (ok (Clio.Server.force f.srv));
+  let srv = crash_and_recover f in
+  let log = ok (Clio.Server.resolve srv "/stale") in
+  let got = all_payloads srv ~log in
+  Alcotest.(check int) "nothing duplicated" 52 (List.length got)
+
+let test_recovery_without_frontier_reporting () =
+  (* Device cannot report its frontier: binary search must find it. *)
+  let f = make_fixture ~reports_frontier:false () in
+  let log = create_log f "/bs" in
+  for i = 0 to 99 do
+    ignore (append f ~log (Printf.sprintf "e%d" i))
+  done;
+  ignore (ok (Clio.Server.force f.srv));
+  let srv = crash_and_recover f in
+  let probes = (Clio.Server.stats srv).Clio.Stats.frontier_probe_reads in
+  Alcotest.(check bool) "binary search used" true (probes > 0);
+  Alcotest.(check bool) "log2 probes" true (probes <= 2 * Clio.Analysis.frontier_probes ~capacity:1024);
+  let log = ok (Clio.Server.resolve srv "/bs") in
+  Alcotest.(check int) "all entries" 100 (List.length (all_payloads srv ~log))
+
+let test_recovery_entrymap_equivalent () =
+  (* After recovery, locate must behave exactly as before the crash: the
+     pending maps were reconstructed, not lost. *)
+  let config = { Clio.Config.default with fanout = 4 } in
+  let f = make_fixture ~config () in
+  let logs = Array.init 4 (fun i -> create_log f (Printf.sprintf "/l%d" i)) in
+  let rng = Sim.Rng.create 5L in
+  for i = 0 to 300 do
+    ignore (append f ~log:logs.(Sim.Rng.int rng 4) (Printf.sprintf "x%d" i))
+  done;
+  ignore (ok (Clio.Server.force f.srv));
+  let srv = crash_and_recover f in
+  let st = Clio.Server.state srv in
+  let v = ok (Clio.State.active st) in
+  Array.iter
+    (fun log ->
+      for pos = 1 to Clio.Vol.written_limit v do
+        let naive, _ = ok (Baseline.Naive_scan.prev_block st v ~log ~before:pos) in
+        let fast = ok (Clio.Locate.prev_block st v ~log ~before:pos) in
+        Alcotest.(check (option int)) (Printf.sprintf "log %d prev %d" log pos) naive fast
+      done)
+    logs
+
+let test_recovery_cost_tracks_figure4 () =
+  (* Blocks examined during entrymap reconstruction stay within the paper's
+     worst case N·log_N b (+ slack for the fallback scans). *)
+  let config = { Clio.Config.default with fanout = 8 } in
+  List.iter
+    (fun entries ->
+      let f = make_fixture ~config ~capacity:4096 () in
+      let log = create_log f "/w" in
+      for i = 0 to entries - 1 do
+        ignore (append f ~log (Printf.sprintf "%d %s" i (String.make 80 'p')))
+      done;
+      ignore (ok (Clio.Server.force f.srv));
+      let srv = crash_and_recover f in
+      let examined = (Clio.Server.stats srv).Clio.Stats.recovery_blocks_examined in
+      let st = Clio.Server.state srv in
+      let v = ok (Clio.State.active st) in
+      let b = float_of_int (Clio.Vol.written_limit v) in
+      let worst = Clio.Analysis.recovery_examinations_worst ~fanout:8 ~written:b in
+      Alcotest.(check bool)
+        (Printf.sprintf "examined %d <= worst %.0f + slack (b=%.0f)" examined worst b)
+        true
+        (float_of_int examined <= worst +. 16.0))
+    [ 50; 300; 1000 ]
+
+let test_double_crash () =
+  let f = make_fixture () in
+  let log = create_log f "/twice" in
+  ignore (append f ~log ~force:true "first era");
+  let srv = crash_and_recover f in
+  let log = ok (Clio.Server.resolve srv "/twice") in
+  ignore (ok (Clio.Server.append ~force:true srv ~log "second era"));
+  let srv = crash_and_recover f in
+  let log = ok (Clio.Server.resolve srv "/twice") in
+  check_payloads "both eras" [ "first era"; "second era" ] (all_payloads srv ~log)
+
+let test_timestamps_stay_monotonic_across_recovery () =
+  let f = make_fixture () in
+  let log = create_log f "/mono" in
+  let t1 = Option.get (append f ~log ~force:true "a") in
+  let srv = crash_and_recover f in
+  let log = ok (Clio.Server.resolve srv "/mono") in
+  let t2 = Option.get (ok (Clio.Server.append srv ~log "b")) in
+  Alcotest.(check bool) "monotone across crash" true (Int64.compare t2 t1 > 0)
+
+let test_crash_mid_fragmented_entry () =
+  (* Crash with only a prefix of a fragmented entry durable: the incomplete
+     entry must be invisible, prior entries intact. *)
+  let f = make_fixture ~block_size:256 ~nvram:false () in
+  let log = create_log f "/partial" in
+  ignore (append f ~log "complete");
+  ignore (ok (Clio.Server.force f.srv));
+  (* This entry spans several blocks; the final fragment stays in the
+     volatile tail (no force afterwards). *)
+  ignore (append f ~log (String.make 700 'z'));
+  let srv = crash_and_recover f in
+  let log = ok (Clio.Server.resolve srv "/partial") in
+  let got = all_payloads srv ~log in
+  Alcotest.(check bool) "complete entry present" true (List.mem "complete" got);
+  Alcotest.(check bool) "incomplete entry suppressed" true
+    (not (List.exists (fun p -> String.length p >= 700) got));
+  (* The log remains appendable and readable. *)
+  ignore (ok (Clio.Server.append srv ~log "after"));
+  let got = all_payloads srv ~log in
+  Alcotest.(check bool) "appendable after" true (List.mem "after" got)
+
+let test_garbage_sprayed_past_frontier () =
+  (* A failure wrote junk past the end of the log: recovery must invalidate
+     it and record the locations in the bad-block log. *)
+  let block_size = 256 in
+  let base = Worm.Mem_device.create ~block_size ~capacity:1024 () in
+  let faulty = Worm.Faulty_device.create (Worm.Mem_device.io base) in
+  let alloc ~vol_index:_ = Ok (Worm.Faulty_device.io faulty) in
+  let clock = Sim.Clock.simulated () in
+  let config = { Clio.Config.default with block_size } in
+  let srv = ok (Clio.Server.create ~config ~clock ~alloc_volume:alloc ()) in
+  let log = ok (Clio.Server.create_log srv "/g") in
+  for i = 0 to 19 do
+    ignore (ok (Clio.Server.append srv ~log (Printf.sprintf "e%d" i)))
+  done;
+  ignore (ok (Clio.Server.force srv));
+  Worm.Faulty_device.spray_garbage_after_frontier faulty ~count:3;
+  let srv2 =
+    ok
+      (Clio.Server.recover ~config ~clock ~alloc_volume:alloc
+         ~devices:[ Worm.Faulty_device.io faulty ] ())
+  in
+  let log = ok (Clio.Server.resolve srv2 "/g") in
+  Alcotest.(check int) "entries intact" 20 (List.length (all_payloads srv2 ~log));
+  Alcotest.(check bool) "garbage quarantined" true ((Clio.Server.stats srv2).Clio.Stats.bad_blocks >= 3);
+  (* New appends land past the quarantined region and read back fine. *)
+  ignore (ok (Clio.Server.append ~force:true srv2 ~log "fresh"));
+  Alcotest.(check bool) "appendable" true (List.mem "fresh" (all_payloads srv2 ~log))
+
+let test_recover_rejects_mixed_sequences () =
+  let f1 = make_fixture () in
+  let f2 = make_fixture () in
+  ignore (create_log f1 "/x");
+  ignore (create_log f2 "/y");
+  ignore (ok (Clio.Server.force f1.srv));
+  ignore (ok (Clio.Server.force f2.srv));
+  let devices = fixture_devices f1 @ fixture_devices f2 in
+  match
+    Clio.Server.recover ~config:f1.config ~clock:f1.clock ~alloc_volume:f1.alloc ~devices ()
+  with
+  | Error (Clio.Errors.Bad_record _) -> ()
+  | _ -> Alcotest.fail "volumes from different sequences must be rejected"
+
+let () =
+  run "recovery"
+    [
+      ( "basic",
+        [
+          Alcotest.test_case "empty server" `Quick test_recover_empty_server;
+          Alcotest.test_case "entries + catalog" `Quick test_recover_preserves_entries_and_catalog;
+          Alcotest.test_case "unforced tail lost" `Quick test_unforced_tail_lost_without_nvram;
+          Alcotest.test_case "NVRAM tail survives" `Quick test_nvram_tail_survives;
+          Alcotest.test_case "stale NVRAM ignored" `Quick test_stale_nvram_ignored;
+          Alcotest.test_case "double crash" `Quick test_double_crash;
+          Alcotest.test_case "timestamps monotonic" `Quick test_timestamps_stay_monotonic_across_recovery;
+          Alcotest.test_case "mixed sequences rejected" `Quick test_recover_rejects_mixed_sequences;
+        ] );
+      ( "initialization",
+        [
+          Alcotest.test_case "frontier binary search" `Quick test_recovery_without_frontier_reporting;
+          Alcotest.test_case "entrymap equivalent" `Quick test_recovery_entrymap_equivalent;
+          Alcotest.test_case "Figure-4 cost bound" `Quick test_recovery_cost_tracks_figure4;
+        ] );
+      ( "damage",
+        [
+          Alcotest.test_case "crash mid-entry" `Quick test_crash_mid_fragmented_entry;
+          Alcotest.test_case "garbage past frontier" `Quick test_garbage_sprayed_past_frontier;
+        ] );
+    ]

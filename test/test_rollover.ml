@@ -1,0 +1,171 @@
+(* Volume sequences (section 2.1): filling volumes, sealing, successor
+   volumes, catalog snapshots, cross-volume reads and recovery. *)
+
+open Testkit
+
+let small_fixture ?(capacity = 32) () =
+  make_fixture ~config:{ Clio.Config.default with fanout = 4 } ~block_size:256 ~capacity ()
+
+let test_roll_when_full () =
+  let f = small_fixture () in
+  let log = create_log f "/r" in
+  for i = 0 to 399 do
+    ignore (append f ~log (Printf.sprintf "entry %03d with some padding bytes" i))
+  done;
+  ignore (ok (Clio.Server.force f.srv));
+  Alcotest.(check bool) "rolled at least twice" true (Clio.Server.nvols f.srv >= 3);
+  Alcotest.(check int) "sealed count"
+    (Clio.Server.nvols f.srv - 1)
+    (Clio.Server.stats f.srv).Clio.Stats.volumes_sealed;
+  let got = all_payloads f.srv ~log in
+  Alcotest.(check int) "no entry lost across rolls" 400 (List.length got)
+
+let test_cross_volume_read_order () =
+  let f = small_fixture () in
+  let a = create_log f "/a" in
+  let b = create_log f "/b" in
+  let expect_a = ref [] and expect_b = ref [] in
+  for i = 0 to 149 do
+    let p = Printf.sprintf "%03d padding padding padding" i in
+    if i mod 2 = 0 then begin
+      ignore (append f ~log:a p);
+      expect_a := p :: !expect_a
+    end
+    else begin
+      ignore (append f ~log:b p);
+      expect_b := p :: !expect_b
+    end
+  done;
+  ignore (ok (Clio.Server.force f.srv));
+  check_payloads "a ordered across volumes" (List.rev !expect_a) (all_payloads f.srv ~log:a);
+  check_payloads "b ordered across volumes" (List.rev !expect_b) (all_payloads f.srv ~log:b);
+  check_payloads "a backward" (List.rev !expect_a) (all_payloads_backward f.srv ~log:a)
+
+let test_volume_headers_chain () =
+  let f = small_fixture () in
+  let log = create_log f "/chain" in
+  for i = 0 to 399 do
+    ignore (append f ~log (Printf.sprintf "chain %d padding padding" i))
+  done;
+  ignore (ok (Clio.Server.force f.srv));
+  let st = Clio.Server.state f.srv in
+  let n = Clio.State.nvols st in
+  Alcotest.(check bool) "multiple volumes" true (n > 1);
+  for i = 0 to n - 1 do
+    let v = ok (Clio.State.vol st i) in
+    Alcotest.(check int) "vol_index matches position" i v.Clio.Vol.hdr.Clio.Volume.vol_index;
+    if i > 0 then begin
+      let prev = ok (Clio.State.vol st (i - 1)) in
+      Alcotest.(check int64) "prev_uid links"
+        prev.Clio.Vol.hdr.Clio.Volume.vol_uid
+        v.Clio.Vol.hdr.Clio.Volume.prev_uid
+    end
+  done
+
+let test_catalog_snapshot_on_new_volume () =
+  (* Each volume re-logs the live catalog, so the newest volume alone is
+     enough to rebuild it. *)
+  let f = small_fixture () in
+  let _old = create_log f "/created-on-vol0" in
+  let log = create_log f "/filler" in
+  for i = 0 to 399 do
+    ignore (append f ~log (Printf.sprintf "filler %d padding padding" i))
+  done;
+  ignore (ok (Clio.Server.force f.srv));
+  Alcotest.(check bool) "rolled" true (Clio.Server.nvols f.srv > 1);
+  let srv = crash_and_recover f in
+  (* The log created on volume 0 is still resolvable after recovery (its
+     descriptor came from the newest volume's snapshot). *)
+  ignore (ok (Clio.Server.resolve srv "/created-on-vol0"))
+
+let test_recovery_of_multivolume_sequence () =
+  let f = small_fixture () in
+  let log = create_log f "/mv" in
+  let payloads = List.init 150 (fun i -> Printf.sprintf "mv %03d padding padding pad" i) in
+  List.iter (fun p -> ignore (append f ~log p)) payloads;
+  ignore (ok (Clio.Server.force f.srv));
+  let nvols_before = Clio.Server.nvols f.srv in
+  let srv = crash_and_recover f in
+  Alcotest.(check int) "volumes remounted" nvols_before (Clio.Server.nvols srv);
+  let log = ok (Clio.Server.resolve srv "/mv") in
+  check_payloads "identical after recovery" payloads (all_payloads srv ~log)
+
+let test_devices_order_insensitive () =
+  (* recover sorts volumes by their header index, not list order. *)
+  let f = small_fixture () in
+  let log = create_log f "/ooo" in
+  for i = 0 to 149 do
+    ignore (append f ~log (Printf.sprintf "ooo %d padding padding pad" i))
+  done;
+  ignore (ok (Clio.Server.force f.srv));
+  let devices = List.rev (fixture_devices f) in
+  let srv =
+    ok
+      (Clio.Server.recover ~config:f.config ~clock:f.clock ?nvram:f.nvram
+         ~alloc_volume:f.alloc ~devices ())
+  in
+  let log = ok (Clio.Server.resolve srv "/ooo") in
+  Alcotest.(check int) "all entries" 150 (List.length (all_payloads srv ~log))
+
+let test_time_search_across_volumes () =
+  let f = small_fixture ~capacity:24 () in
+  let log = create_log f "/tv" in
+  let stamps = ref [] in
+  for i = 0 to 199 do
+    Sim.Clock.advance f.clock 1000L;
+    stamps := Option.get (append f ~log (Printf.sprintf "t%03d padding padding pad" i)) :: !stamps
+  done;
+  ignore (ok (Clio.Server.force f.srv));
+  Alcotest.(check bool) "rolled" true (Clio.Server.nvols f.srv > 1);
+  let stamps = Array.of_list (List.rev !stamps) in
+  List.iter
+    (fun i ->
+      let e = Option.get (ok (Clio.Server.entry_at_or_after f.srv ~log stamps.(i))) in
+      Alcotest.(check bool) (Printf.sprintf "time search hits %d" i) true
+        (String.length e.Clio.Reader.payload >= 4
+        && String.sub e.Clio.Reader.payload 0 4 = Printf.sprintf "t%03d" i))
+    [ 5; 100; 195 ]
+
+let test_sequence_exhaustion_is_clean () =
+  (* Allocator refuses a successor: the append must fail without wedging. *)
+  let clock = Sim.Clock.simulated () in
+  let dev = Worm.Mem_device.create ~block_size:256 ~capacity:8 () in
+  let allocated = ref false in
+  let alloc ~vol_index:_ =
+    if !allocated then Error Clio.Errors.Sequence_full
+    else begin
+      allocated := true;
+      Ok (Worm.Mem_device.io dev)
+    end
+  in
+  let config = { Clio.Config.default with block_size = 256; fanout = 4 } in
+  let srv = ok (Clio.Server.create ~config ~clock ~alloc_volume:alloc ()) in
+  let log = ok (Clio.Server.create_log srv "/full") in
+  let rec fill i =
+    if i > 100 then Alcotest.fail "never filled"
+    else
+      match Clio.Server.append srv ~log (String.make 200 'x') with
+      | Ok _ -> fill (i + 1)
+      | Error Clio.Errors.Sequence_full -> i
+      | Error e -> Alcotest.failf "unexpected error: %s" (Clio.Errors.to_string e)
+  in
+  let written = fill 0 in
+  Alcotest.(check bool) "some entries made it" true (written > 0);
+  (* Previously written entries remain readable. *)
+  Alcotest.(check bool) "still readable" true (List.length (all_payloads srv ~log) >= written - 1)
+
+let () =
+  run "rollover"
+    [
+      ( "sequence",
+        [
+          Alcotest.test_case "rolls when full" `Quick test_roll_when_full;
+          Alcotest.test_case "cross-volume order" `Quick test_cross_volume_read_order;
+          Alcotest.test_case "headers chain" `Quick test_volume_headers_chain;
+          Alcotest.test_case "catalog snapshot" `Quick test_catalog_snapshot_on_new_volume;
+          Alcotest.test_case "recovery" `Quick test_recovery_of_multivolume_sequence;
+          Alcotest.test_case "device order insensitive" `Quick test_devices_order_insensitive;
+          Alcotest.test_case "time search across volumes" `Quick test_time_search_across_volumes;
+          Alcotest.test_case "exhaustion clean" `Quick test_sequence_exhaustion_is_clean;
+        ] );
+    ]

@@ -1,0 +1,117 @@
+(* Salvage: migrating a sequence's surviving entries to fresh media. *)
+
+open Testkit
+
+let fresh_dst ?(block_size = 256) () =
+  let f = make_fixture ~block_size () in
+  f
+
+let test_copy_healthy_sequence () =
+  let src_f = make_fixture () in
+  let a = create_log src_f "/a" in
+  let b = create_log src_f "/a/b" in
+  let c = create_log src_f "/c" in
+  let payloads_b = List.init 40 (fun i -> Printf.sprintf "b%02d" i) in
+  let payloads_c = List.init 20 (fun i -> Printf.sprintf "c%02d" i) in
+  List.iter (fun p -> ignore (append src_f ~log:b p)) payloads_b;
+  List.iter (fun p -> ignore (append src_f ~log:c p)) payloads_c;
+  ignore (ok (Clio.Server.force src_f.srv));
+  let dst_f = fresh_dst () in
+  let r = ok (Clio.Salvage.copy_sequence ~src:src_f.srv ~dst:dst_f.srv) in
+  Alcotest.(check int) "three logs" 3 r.Clio.Salvage.logs_created;
+  Alcotest.(check int) "sixty entries" 60 r.Clio.Salvage.entries_copied;
+  Alcotest.(check int) "nothing lost" 0 r.Clio.Salvage.entries_lost;
+  (* Same ids, same names, same contents, same order. *)
+  Alcotest.(check int) "id preserved" a (ok (Clio.Server.resolve dst_f.srv "/a"));
+  Alcotest.(check int) "sublog id preserved" b (ok (Clio.Server.resolve dst_f.srv "/a/b"));
+  check_payloads "b copied" payloads_b (all_payloads dst_f.srv ~log:b);
+  check_payloads "c copied" payloads_c (all_payloads dst_f.srv ~log:c);
+  (* Sublog membership survives: the parent sees its child's entries. *)
+  check_payloads "parent sees child" payloads_b (all_payloads dst_f.srv ~log:a);
+  (* Destination is structurally healthy. *)
+  let rep = ok (Clio.Server.fsck ~verify_entrymap:true dst_f.srv) in
+  Alcotest.(check (list string)) "dst fsck" [] rep.Clio.Fsck.errors
+
+let test_copy_skips_corrupted_entries () =
+  let src_f = make_fixture () in
+  let log = create_log src_f "/data" in
+  for i = 0 to 99 do
+    ignore (append src_f ~log (Printf.sprintf "entry %02d padding pad" i))
+  done;
+  ignore (ok (Clio.Server.force src_f.srv));
+  Worm.Mem_device.raw_poke (Hashtbl.find src_f.devices 0) 4 (Bytes.make 256 'J');
+  drop_caches src_f.srv;
+  let dst_f = fresh_dst () in
+  let r = ok (Clio.Salvage.copy_sequence ~src:src_f.srv ~dst:dst_f.srv) in
+  Alcotest.(check bool) "most copied" true (r.Clio.Salvage.entries_copied > 80);
+  Alcotest.(check bool) "some lost" true (r.Clio.Salvage.entries_copied < 100);
+  (* The destination has no trace of the corruption. *)
+  let rep = ok (Clio.Server.fsck dst_f.srv) in
+  Alcotest.(check bool) "dst healthy" true (Clio.Fsck.is_healthy rep);
+  let got = all_payloads dst_f.srv ~log in
+  Alcotest.(check int) "copied = readable" r.Clio.Salvage.entries_copied (List.length got)
+
+let test_timestamp_map_is_monotone () =
+  let src_f = make_fixture () in
+  let log = create_log src_f "/t" in
+  for i = 0 to 29 do
+    Sim.Clock.advance src_f.clock 1000L;
+    ignore (append src_f ~log (string_of_int i))
+  done;
+  ignore (ok (Clio.Server.force src_f.srv));
+  let dst_f = fresh_dst () in
+  let r = ok (Clio.Salvage.copy_sequence ~src:src_f.srv ~dst:dst_f.srv) in
+  Alcotest.(check int) "30 mapped" 30 (List.length r.Clio.Salvage.timestamp_map);
+  let rec monotone = function
+    | (o1, n1) :: ((o2, n2) :: _ as rest) ->
+      Int64.compare o1 o2 < 0 && Int64.compare n1 n2 < 0 && monotone rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "order-preserving" true (monotone r.Clio.Salvage.timestamp_map);
+  (* Old timestamps redirect to the copied entries. *)
+  let old_ts, new_ts = List.nth r.Clio.Salvage.timestamp_map 10 in
+  ignore old_ts;
+  let e = Option.get (ok (Clio.Server.entry_at_or_after dst_f.srv ~log new_ts)) in
+  Alcotest.(check string) "redirected" "10" e.Clio.Reader.payload
+
+let test_refuses_dirty_destination () =
+  let src_f = make_fixture () in
+  ignore (create_log src_f "/x");
+  let dst_f = fresh_dst () in
+  ignore (create_log dst_f "/already-here");
+  match Clio.Salvage.copy_sequence ~src:src_f.srv ~dst:dst_f.srv with
+  | Error (Clio.Errors.Bad_record _) -> ()
+  | _ -> Alcotest.fail "dirty destination must be rejected"
+
+let test_multivolume_source_compacts () =
+  (* A source with forced-write padding across several volumes fits in
+     fewer blocks after salvage. *)
+  let src_f =
+    make_fixture ~config:{ Clio.Config.default with fanout = 4; nvram_tail = false }
+      ~block_size:256 ~capacity:64 ~nvram:false ()
+  in
+  let log = create_log src_f "/frag" in
+  for i = 0 to 199 do
+    ignore (append src_f ~log ~force:true (Printf.sprintf "commit %03d" i))
+  done;
+  Alcotest.(check bool) "source sprawls" true (Clio.Server.nvols src_f.srv > 2);
+  let dst_f = fresh_dst () in
+  let r = ok (Clio.Salvage.copy_sequence ~src:src_f.srv ~dst:dst_f.srv) in
+  Alcotest.(check int) "all commits" 200 r.Clio.Salvage.entries_copied;
+  Alcotest.(check bool) "destination is compact" true
+    (Clio.Server.volume_blocks_used dst_f.srv * 4 < Clio.Server.volume_blocks_used src_f.srv);
+  check_payloads "order kept" (List.init 200 (Printf.sprintf "commit %03d"))
+    (all_payloads dst_f.srv ~log)
+
+let () =
+  run "salvage"
+    [
+      ( "copy",
+        [
+          Alcotest.test_case "healthy sequence" `Quick test_copy_healthy_sequence;
+          Alcotest.test_case "skips corrupted" `Quick test_copy_skips_corrupted_entries;
+          Alcotest.test_case "timestamp map" `Quick test_timestamp_map_is_monotone;
+          Alcotest.test_case "dirty destination" `Quick test_refuses_dirty_destination;
+          Alcotest.test_case "compacts padding" `Quick test_multivolume_source_compacts;
+        ] );
+    ]

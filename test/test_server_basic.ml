@@ -1,0 +1,285 @@
+(* Server facade: naming, appending, reading, sublogs, multi-membership. *)
+
+open Testkit
+
+let test_create_and_append_read () =
+  let f = make_fixture () in
+  let log = create_log f "/app" in
+  List.iter (fun s -> ignore (append f ~log s)) [ "one"; "two"; "three" ];
+  check_payloads "forward" [ "one"; "two"; "three" ] (all_payloads f.srv ~log);
+  check_payloads "backward" [ "one"; "two"; "three" ] (all_payloads_backward f.srv ~log)
+
+let test_empty_log_reads_nothing () =
+  let f = make_fixture () in
+  let log = create_log f "/empty" in
+  check_payloads "empty forward" [] (all_payloads f.srv ~log);
+  Alcotest.(check bool) "no first" true (ok (Clio.Server.first_entry f.srv ~log) = None);
+  Alcotest.(check bool) "no last" true (ok (Clio.Server.last_entry f.srv ~log) = None)
+
+let test_empty_payload_entries () =
+  (* "Null" entries — the paper's section 3.2 write benchmark uses them. *)
+  let f = make_fixture () in
+  let log = create_log f "/null" in
+  for _ = 1 to 10 do
+    ignore (append f ~log "")
+  done;
+  Alcotest.(check int) "ten null entries" 10 (List.length (all_payloads f.srv ~log))
+
+let test_timestamps_strictly_increase () =
+  let f = make_fixture () in
+  let log = create_log f "/ts" in
+  let ts = List.init 50 (fun i -> Option.get (append f ~log (string_of_int i))) in
+  let rec increasing = function
+    | a :: (b :: _ as rest) -> Int64.compare a b < 0 && increasing rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "monotone" true (increasing ts)
+
+let test_first_last () =
+  let f = make_fixture () in
+  let log = create_log f "/fl" in
+  for i = 0 to 99 do
+    ignore (append f ~log (Printf.sprintf "e%02d" i))
+  done;
+  Alcotest.(check string) "first" "e00" (Option.get (ok (Clio.Server.first_entry f.srv ~log))).Clio.Reader.payload;
+  Alcotest.(check string) "last" "e99" (Option.get (ok (Clio.Server.last_entry f.srv ~log))).Clio.Reader.payload
+
+let test_sublog_membership () =
+  let f = make_fixture () in
+  let parent = create_log f "/mail" in
+  let smith = create_log f "/mail/smith" in
+  let jones = create_log f "/mail/jones" in
+  ignore (append f ~log:smith "to smith 1");
+  ignore (append f ~log:jones "to jones 1");
+  ignore (append f ~log:smith "to smith 2");
+  check_payloads "smith sees own" [ "to smith 1"; "to smith 2" ] (all_payloads f.srv ~log:smith);
+  check_payloads "jones sees own" [ "to jones 1" ] (all_payloads f.srv ~log:jones);
+  check_payloads "parent sees all, in order"
+    [ "to smith 1"; "to jones 1"; "to smith 2" ]
+    (all_payloads f.srv ~log:parent)
+
+let test_deep_sublog_nesting () =
+  let f = make_fixture () in
+  let a = create_log f "/a" in
+  let _b = create_log f "/a/b" in
+  let c = create_log f "/a/b/c" in
+  ignore (append f ~log:c "deep");
+  check_payloads "grandparent sees" [ "deep" ] (all_payloads f.srv ~log:a);
+  let b = ok (Clio.Server.resolve f.srv "/a/b") in
+  check_payloads "parent sees" [ "deep" ] (all_payloads f.srv ~log:b)
+
+let test_root_log_sees_everything () =
+  let f = make_fixture () in
+  let a = create_log f "/a" in
+  ignore (append f ~log:a "client data");
+  (* The volume-sequence log (id 0) contains client data, catalog entries,
+     and any entrymap entries. *)
+  let all = all_payloads f.srv ~log:Clio.Ids.root in
+  Alcotest.(check bool) "root superset" true (List.length all >= 2);
+  Alcotest.(check bool) "client entry present" true (List.mem "client data" all)
+
+let test_extra_members () =
+  let f = make_fixture () in
+  let a = create_log f "/a" in
+  let b = create_log f "/b" in
+  ignore (ok (Clio.Server.append f.srv ~log:a ~extra_members:[ b ] "both"));
+  ignore (append f ~log:a "only a");
+  check_payloads "a sees both" [ "both"; "only a" ] (all_payloads f.srv ~log:a);
+  check_payloads "b sees shared" [ "both" ] (all_payloads f.srv ~log:b)
+
+let test_append_validation () =
+  let f = make_fixture () in
+  (match Clio.Server.append f.srv ~log:Clio.Ids.root "x" with
+  | Error (Clio.Errors.Bad_record _) -> ()
+  | _ -> Alcotest.fail "append to root must fail");
+  (match Clio.Server.append f.srv ~log:Clio.Ids.entrymap "x" with
+  | Error (Clio.Errors.Bad_record _) -> ()
+  | _ -> Alcotest.fail "append to internal must fail");
+  match Clio.Server.append f.srv ~log:99 "x" with
+  | Error (Clio.Errors.No_such_log _) -> ()
+  | _ -> Alcotest.fail "append to unknown must fail"
+
+let test_create_log_errors () =
+  let f = make_fixture () in
+  ignore (create_log f "/a");
+  (match Clio.Server.create_log f.srv "/a" with
+  | Error (Clio.Errors.Log_exists _) -> ()
+  | _ -> Alcotest.fail "duplicate create must fail");
+  (match Clio.Server.create_log f.srv "/missing/child" with
+  | Error (Clio.Errors.No_such_log _) -> ()
+  | _ -> Alcotest.fail "missing parent must fail");
+  match Clio.Server.create_log f.srv "/" with
+  | Error (Clio.Errors.Invalid_name _) -> ()
+  | _ -> Alcotest.fail "creating root must fail"
+
+let test_ensure_log_mkdir_p () =
+  let f = make_fixture () in
+  let id = ok (Clio.Server.ensure_log f.srv "/x/y/z") in
+  Alcotest.(check int) "resolves same" id (ok (Clio.Server.resolve f.srv "/x/y/z"));
+  Alcotest.(check int) "idempotent" id (ok (Clio.Server.ensure_log f.srv "/x/y/z"));
+  ignore (ok (Clio.Server.resolve f.srv "/x/y"))
+
+let test_list_logs_hides_internals () =
+  let f = make_fixture () in
+  ignore (create_log f "/visible");
+  let names = List.map (fun d -> d.Clio.Catalog.name) (ok (Clio.Server.list_logs f.srv "/")) in
+  Alcotest.(check bool) "client log listed" true (List.mem "visible" names);
+  Alcotest.(check bool) "no internals" true
+    (not (List.exists (fun n -> String.length n > 0 && n.[0] = '.') names))
+
+let test_set_perms_logged () =
+  let f = make_fixture () in
+  let log = create_log f "/p" in
+  ok (Clio.Server.set_perms f.srv ~log 0o400);
+  Alcotest.(check int) "perms updated" 0o400 (Option.get (Clio.Server.descriptor f.srv log)).Clio.Catalog.perms;
+  (* Survives recovery because the change was logged. *)
+  let srv = crash_and_recover f in
+  let log = ok (Clio.Server.resolve srv "/p") in
+  Alcotest.(check int) "perms recovered" 0o400 (Option.get (Clio.Server.descriptor srv log)).Clio.Catalog.perms
+
+let test_append_path_creates () =
+  let f = make_fixture () in
+  ignore (ok (Clio.Server.append_path f.srv ~path:"/auto/created" "hello"));
+  let log = ok (Clio.Server.resolve f.srv "/auto/created") in
+  check_payloads "written" [ "hello" ] (all_payloads f.srv ~log)
+
+let test_interleaved_logs_order () =
+  let f = make_fixture () in
+  let logs = Array.init 8 (fun i -> create_log f (Printf.sprintf "/log%d" i)) in
+  for i = 0 to 399 do
+    ignore (append f ~log:logs.(i mod 8) (Printf.sprintf "%d" i))
+  done;
+  Array.iteri
+    (fun k log ->
+      let expect = List.init 50 (fun j -> Printf.sprintf "%d" ((j * 8) + k)) in
+      check_payloads (Printf.sprintf "log%d isolated and ordered" k) expect
+        (all_payloads f.srv ~log))
+    logs
+
+let test_cursor_mixed_directions () =
+  let f = make_fixture () in
+  let log = create_log f "/mix" in
+  for i = 0 to 9 do
+    ignore (append f ~log (string_of_int i))
+  done;
+  let c = ok (Clio.Server.cursor_end f.srv ~log) in
+  let p () = (Option.get (ok (Clio.Server.prev c))).Clio.Reader.payload in
+  let n () = (Option.get (ok (Clio.Server.next c))).Clio.Reader.payload in
+  Alcotest.(check string) "prev 9" "9" (p ());
+  Alcotest.(check string) "prev 8" "8" (p ());
+  Alcotest.(check string) "next 8 again" "8" (n ());
+  Alcotest.(check string) "next 9" "9" (n ());
+  Alcotest.(check bool) "at end" true (ok (Clio.Server.next c) = None)
+
+let test_reading_while_tail_open () =
+  (* Recent, unflushed entries must be readable (in-memory tail). *)
+  let f = make_fixture () in
+  let log = create_log f "/tail" in
+  ignore (append f ~log "unflushed");
+  check_payloads "tail visible" [ "unflushed" ] (all_payloads f.srv ~log);
+  check_payloads "tail visible backward" [ "unflushed" ] (all_payloads_backward f.srv ~log)
+
+let test_many_logs_catalog_capacity () =
+  let f = make_fixture ~capacity:8192 () in
+  for i = 0 to 199 do
+    ignore (create_log f (Printf.sprintf "/bulk%03d" i))
+  done;
+  Alcotest.(check int) "200 logs listed" 200 (List.length (ok (Clio.Server.list_logs f.srv "/")))
+
+let test_entries_fill_many_blocks () =
+  let f = make_fixture () in
+  let log = create_log f "/big" in
+  let n = 500 in
+  for i = 0 to n - 1 do
+    ignore (append f ~log (Printf.sprintf "entry-%04d" i))
+  done;
+  let got = all_payloads f.srv ~log in
+  Alcotest.(check int) "all present" n (List.length got);
+  Alcotest.(check bool) "many blocks flushed" true ((Clio.Server.stats f.srv).Clio.Stats.blocks_flushed > 10)
+
+
+let test_live_cursor_sees_new_entries () =
+  (* A cursor parked at the end observes entries appended afterwards — the
+     tail is always part of the readable log. *)
+  let f = make_fixture () in
+  let log = create_log f "/live" in
+  ignore (append f ~log "before");
+  let c = ok (Clio.Server.cursor_end f.srv ~log) in
+  Alcotest.(check bool) "at end" true (ok (Clio.Server.next c) = None);
+  ignore (append f ~log "after");
+  Alcotest.(check string) "sees the new entry" "after"
+    (Option.get (ok (Clio.Server.next c))).Clio.Reader.payload
+
+let test_cursor_survives_volume_roll () =
+  (* Iterate while appends roll the sequence onto a successor volume: the
+     cursor follows into the new volume. *)
+  let f =
+    make_fixture ~config:{ Clio.Config.default with fanout = 4 } ~block_size:256 ~capacity:16 ()
+  in
+  let log = create_log f "/roll" in
+  ignore (append f ~log "first");
+  let c = ok (Clio.Server.cursor_end f.srv ~log) in
+  Alcotest.(check bool) "drained" true (ok (Clio.Server.next c) = None);
+  for i = 0 to 99 do
+    ignore (append f ~log (Printf.sprintf "gen2 %02d padding padding pad" i))
+  done;
+  ignore (ok (Clio.Server.force f.srv));
+  Alcotest.(check bool) "rolled meanwhile" true (Clio.Server.nvols f.srv > 1);
+  let rec drain n = match ok (Clio.Server.next c) with Some _ -> drain (n + 1) | None -> n in
+  Alcotest.(check int) "cursor crossed volumes" 100 (drain 0)
+
+let test_fanout_two_edge () =
+  (* N = 2: a boundary every other block, maps of two bits, deep trees. *)
+  let f = make_fixture ~config:{ Clio.Config.default with fanout = 2 } ~block_size:256 () in
+  let a = create_log f "/a" in
+  let b = create_log f "/b" in
+  for i = 0 to 199 do
+    ignore (append f ~log:(if i mod 7 = 0 then a else b) (Printf.sprintf "%d padding" i))
+  done;
+  ignore (ok (Clio.Server.force f.srv));
+  let st = Clio.Server.state f.srv in
+  let v = ok (Clio.State.active st) in
+  for pos = 1 to Clio.Vol.written_limit v do
+    let truth, _ = ok (Baseline.Naive_scan.prev_block st v ~log:a ~before:pos) in
+    Alcotest.(check (option int)) (Printf.sprintf "N=2 prev %d" pos) truth
+      (ok (Clio.Locate.prev_block st v ~log:a ~before:pos))
+  done;
+  let r = ok (Clio.Server.fsck ~verify_entrymap:true f.srv) in
+  Alcotest.(check (list string)) "N=2 fsck" [] r.Clio.Fsck.errors
+
+let () =
+  run "server_basic"
+    [
+      ( "append-read",
+        [
+          Alcotest.test_case "create/append/read" `Quick test_create_and_append_read;
+          Alcotest.test_case "empty log" `Quick test_empty_log_reads_nothing;
+          Alcotest.test_case "null entries" `Quick test_empty_payload_entries;
+          Alcotest.test_case "timestamps increase" `Quick test_timestamps_strictly_increase;
+          Alcotest.test_case "first/last" `Quick test_first_last;
+          Alcotest.test_case "cursor mixed directions" `Quick test_cursor_mixed_directions;
+          Alcotest.test_case "tail readable" `Quick test_reading_while_tail_open;
+          Alcotest.test_case "fills many blocks" `Quick test_entries_fill_many_blocks;
+          Alcotest.test_case "interleaved logs" `Quick test_interleaved_logs_order;
+          Alcotest.test_case "live cursor" `Quick test_live_cursor_sees_new_entries;
+          Alcotest.test_case "cursor survives roll" `Quick test_cursor_survives_volume_roll;
+          Alcotest.test_case "fanout 2 edge" `Quick test_fanout_two_edge;
+        ] );
+      ( "sublogs",
+        [
+          Alcotest.test_case "membership" `Quick test_sublog_membership;
+          Alcotest.test_case "deep nesting" `Quick test_deep_sublog_nesting;
+          Alcotest.test_case "root sees everything" `Quick test_root_log_sees_everything;
+          Alcotest.test_case "extra members" `Quick test_extra_members;
+        ] );
+      ( "naming",
+        [
+          Alcotest.test_case "append validation" `Quick test_append_validation;
+          Alcotest.test_case "create errors" `Quick test_create_log_errors;
+          Alcotest.test_case "ensure mkdir -p" `Quick test_ensure_log_mkdir_p;
+          Alcotest.test_case "list hides internals" `Quick test_list_logs_hides_internals;
+          Alcotest.test_case "set perms logged" `Quick test_set_perms_logged;
+          Alcotest.test_case "append_path creates" `Quick test_append_path_creates;
+          Alcotest.test_case "many logs" `Quick test_many_logs_catalog_capacity;
+        ] );
+    ]

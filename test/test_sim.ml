@@ -1,0 +1,157 @@
+(* Simulation substrate: rng determinism, clocks, seek models, workloads. *)
+
+let test_rng_deterministic () =
+  let a = Sim.Rng.create 42L and b = Sim.Rng.create 42L in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Sim.Rng.next a) (Sim.Rng.next b)
+  done
+
+let test_rng_seed_sensitivity () =
+  let a = Sim.Rng.create 1L and b = Sim.Rng.create 2L in
+  let xs = List.init 16 (fun _ -> Sim.Rng.next a) in
+  let ys = List.init 16 (fun _ -> Sim.Rng.next b) in
+  Alcotest.(check bool) "different streams" true (xs <> ys)
+
+let test_rng_bounds () =
+  let r = Sim.Rng.create 7L in
+  for _ = 1 to 1000 do
+    let v = Sim.Rng.int r 17 in
+    Alcotest.(check bool) "in range" true (v >= 0 && v < 17);
+    let v = Sim.Rng.int_in r 5 9 in
+    Alcotest.(check bool) "in closed range" true (v >= 5 && v <= 9);
+    let f = Sim.Rng.float r 3.5 in
+    Alcotest.(check bool) "float range" true (f >= 0.0 && f < 3.5)
+  done
+
+let test_rng_split_independent () =
+  let r = Sim.Rng.create 3L in
+  let s = Sim.Rng.split r in
+  Alcotest.(check bool) "split differs" true (Sim.Rng.next r <> Sim.Rng.next s)
+
+let test_rng_shuffle_permutes () =
+  let r = Sim.Rng.create 9L in
+  let a = Array.init 50 Fun.id in
+  Sim.Rng.shuffle r a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "same multiset" (Array.init 50 Fun.id) sorted
+
+let test_clock_monotonic () =
+  let c = Sim.Clock.simulated () in
+  let a = Sim.Clock.now c in
+  let b = Sim.Clock.now c in
+  Alcotest.(check bool) "strictly increasing" true (Int64.compare b a > 0)
+
+let test_clock_advance () =
+  let c = Sim.Clock.simulated ~start:100L ~tick:0L () in
+  Sim.Clock.advance c 50L;
+  Alcotest.(check int64) "advanced" 150L (Sim.Clock.peek c)
+
+let test_clock_wall_sane () =
+  let c = Sim.Clock.wall () in
+  let t = Sim.Clock.now c in
+  (* After 2020-01-01 in microseconds. *)
+  Alcotest.(check bool) "wall clock is recent" true (Int64.compare t 1_577_836_800_000_000L > 0)
+
+let test_seek_zero_distance_free () =
+  List.iter
+    (fun m ->
+      Alcotest.(check int64)
+        (m.Sim.Seek_model.name ^ " zero seek") 0L
+        (m.Sim.Seek_model.seek_us ~dist:0))
+    [ Sim.Seek_model.optical; Sim.Seek_model.magnetic; Sim.Seek_model.ram ]
+
+let test_seek_monotone () =
+  let m = Sim.Seek_model.optical in
+  let a = m.Sim.Seek_model.seek_us ~dist:10 in
+  let b = m.Sim.Seek_model.seek_us ~dist:100_000 in
+  Alcotest.(check bool) "longer seeks cost more" true (Int64.compare b a > 0)
+
+let test_seek_optical_slower_than_magnetic () =
+  let d = 300_000 in
+  let o = Sim.Seek_model.optical.Sim.Seek_model.seek_us ~dist:d in
+  let g = Sim.Seek_model.magnetic.Sim.Seek_model.seek_us ~dist:d in
+  Alcotest.(check bool) "optical slower" true (Int64.compare o g > 0)
+
+let test_seek_calibration () =
+  (* Mean random seek on a 1M-block device should be in the ballpark the
+     paper quotes: ~150 ms optical, ~30 ms magnetic. *)
+  let avg m = Int64.to_float (Sim.Seek_model.average_seek_us m ~capacity:1_000_000) /. 1000.0 in
+  let o = avg Sim.Seek_model.optical and g = avg Sim.Seek_model.magnetic in
+  Alcotest.(check bool) "optical ~150ms" true (o > 100.0 && o < 220.0);
+  Alcotest.(check bool) "magnetic ~30ms" true (g > 15.0 && g < 60.0)
+
+let test_workload_login_shape () =
+  let rng = Sim.Rng.create 11L in
+  let recs = Sim.Workload.login_trace ~rng ~users:20 ~events:500 ~mean_gap_us:1000.0 in
+  Alcotest.(check int) "count" 500 (List.length recs);
+  List.iter
+    (fun r ->
+      Alcotest.(check bool) "usage path" true
+        (String.length r.Sim.Workload.path > 7 && String.sub r.Sim.Workload.path 0 7 = "/usage/");
+      Alcotest.(check int) "fixed size" 60 (String.length r.Sim.Workload.payload))
+    recs
+
+let test_workload_login_c_ratio () =
+  (* The payload size is calibrated so c (entry/block) ~ 1/15 with 1 KB
+     blocks, as measured in section 3.5 (entry incl. header ~ 64-70 B). *)
+  let rng = Sim.Rng.create 11L in
+  let recs = Sim.Workload.login_trace ~rng ~users:20 ~events:100 ~mean_gap_us:1000.0 in
+  let avg = float_of_int (Sim.Workload.total_payload recs) /. 100.0 in
+  let c = (avg +. 12.0) /. 1024.0 in
+  Alcotest.(check bool) "c near 1/15" true (c > 1.0 /. 20.0 && c < 1.0 /. 10.0)
+
+let test_workload_mail () =
+  let rng = Sim.Rng.create 5L in
+  let recs = Sim.Workload.mail_trace ~rng ~mailboxes:8 ~messages:100 ~mean_body:200 ~mean_gap_us:100.0 in
+  Alcotest.(check int) "count" 100 (List.length recs);
+  List.iter
+    (fun r -> Alcotest.(check bool) "mail path" true (String.sub r.Sim.Workload.path 0 6 = "/mail/"))
+    recs
+
+let test_workload_transactions_forced () =
+  let rng = Sim.Rng.create 5L in
+  let recs = Sim.Workload.transaction_trace ~rng ~streams:4 ~commits:50 ~mean_update:100 in
+  Alcotest.(check int) "count" 50 (List.length recs);
+  List.iter (fun r -> Alcotest.(check bool) "forced" true r.Sim.Workload.forced) recs
+
+let test_workload_deterministic () =
+  let mk () =
+    Sim.Workload.churn_trace ~rng:(Sim.Rng.create 77L) ~files:30 ~writes:200
+      ~short_lived_fraction:0.5
+  in
+  Alcotest.(check bool) "same trace from same seed" true (mk () = mk ())
+
+let () =
+  Testkit.run "sim"
+    [
+      ( "rng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
+          Alcotest.test_case "seed sensitivity" `Quick test_rng_seed_sensitivity;
+          Alcotest.test_case "bounds" `Quick test_rng_bounds;
+          Alcotest.test_case "split independent" `Quick test_rng_split_independent;
+          Alcotest.test_case "shuffle permutes" `Quick test_rng_shuffle_permutes;
+        ] );
+      ( "clock",
+        [
+          Alcotest.test_case "monotonic" `Quick test_clock_monotonic;
+          Alcotest.test_case "advance" `Quick test_clock_advance;
+          Alcotest.test_case "wall sane" `Quick test_clock_wall_sane;
+        ] );
+      ( "seek-model",
+        [
+          Alcotest.test_case "zero distance free" `Quick test_seek_zero_distance_free;
+          Alcotest.test_case "monotone" `Quick test_seek_monotone;
+          Alcotest.test_case "optical slower" `Quick test_seek_optical_slower_than_magnetic;
+          Alcotest.test_case "calibration" `Quick test_seek_calibration;
+        ] );
+      ( "workload",
+        [
+          Alcotest.test_case "login shape" `Quick test_workload_login_shape;
+          Alcotest.test_case "login c ratio" `Quick test_workload_login_c_ratio;
+          Alcotest.test_case "mail" `Quick test_workload_mail;
+          Alcotest.test_case "transactions forced" `Quick test_workload_transactions_forced;
+          Alcotest.test_case "deterministic" `Quick test_workload_deterministic;
+        ] );
+    ]

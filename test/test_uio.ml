@@ -1,0 +1,199 @@
+(* The UIO RPC layer: codec roundtrips, end-to-end client/server behavior,
+   cursor lifecycle, error propagation, and the modeled IPC accounting. *)
+
+open Testkit
+
+let rpc_fixture ?(latency_us = 0L) () =
+  let f = make_fixture () in
+  let rpc = Uio.Rpc_server.create f.srv in
+  let transport =
+    Uio.Transport.local ~latency_us ~clock:f.clock (Uio.Rpc_server.handle rpc)
+  in
+  (f, rpc, Uio.Client.connect transport, transport)
+
+let okr = function Ok v -> v | Error msg -> Alcotest.failf "rpc error: %s" msg
+
+(* ------------------------------- codec ------------------------------- *)
+
+let requests_roundtrip () =
+  let samples =
+    [
+      Uio.Message.Create_log { path = "/a/b"; perms = 0o600 };
+      Uio.Message.Ensure_log { path = "/x"; perms = 0o644 };
+      Uio.Message.Resolve "/a";
+      Uio.Message.Path_of 42;
+      Uio.Message.List_logs "/";
+      Uio.Message.Set_perms { log = 7; perms = 0o400 };
+      Uio.Message.Append { log = 9; extra_members = [ 10; 11 ]; force = true; data = "payload" };
+      Uio.Message.Append { log = 9; extra_members = []; force = false; data = "" };
+      Uio.Message.Force;
+      Uio.Message.Open_cursor { log = 5; whence = Uio.Message.From_start };
+      Uio.Message.Open_cursor { log = 5; whence = Uio.Message.From_end };
+      Uio.Message.Open_cursor { log = 5; whence = Uio.Message.From_time 123456789L };
+      Uio.Message.Next 3;
+      Uio.Message.Prev 4;
+      Uio.Message.Close_cursor 5;
+      Uio.Message.Entry_at_or_after { log = 6; ts = -1L };
+      Uio.Message.Entry_before { log = 6; ts = Int64.max_int };
+    ]
+  in
+  List.iter
+    (fun r ->
+      let r2 = ok (Uio.Message.decode_request (Uio.Message.encode_request r)) in
+      Alcotest.(check bool) "request roundtrip" true (r = r2))
+    samples
+
+let responses_roundtrip () =
+  let samples =
+    [
+      Uio.Message.R_unit;
+      Uio.Message.R_id 77;
+      Uio.Message.R_path "/mail/smith";
+      Uio.Message.R_names [ (4, "mail", 0o644); (5, "usage", 0o600) ];
+      Uio.Message.R_timestamp None;
+      Uio.Message.R_timestamp (Some 99L);
+      Uio.Message.R_entry None;
+      Uio.Message.R_entry (Some { Uio.Message.log = 4; timestamp = Some 5L; payload = "body" });
+      Uio.Message.R_entry (Some { Uio.Message.log = 4; timestamp = None; payload = "" });
+      Uio.Message.R_error "boom";
+    ]
+  in
+  List.iter
+    (fun r ->
+      let r2 = ok (Uio.Message.decode_response (Uio.Message.encode_response r)) in
+      Alcotest.(check bool) "response roundtrip" true (r = r2))
+    samples
+
+let codec_rejects_garbage () =
+  (match Uio.Message.decode_request "\xFFgarbage" with
+  | Error (Clio.Errors.Bad_record _) -> ()
+  | _ -> Alcotest.fail "bad request tag must fail");
+  match Uio.Message.decode_response "" with
+  | Error (Clio.Errors.Bad_record _) -> ()
+  | _ -> Alcotest.fail "empty response must fail"
+
+(* ----------------------------- end to end ----------------------------- *)
+
+let test_remote_write_read () =
+  let _f, _rpc, client, _tr = rpc_fixture () in
+  let log = okr (Uio.Client.create_log client "/remote") in
+  let ts = okr (Uio.Client.append client ~log "over the wire") in
+  Alcotest.(check bool) "timestamp returned" true (ts <> None);
+  ignore (okr (Uio.Client.append client ~log "second"));
+  let entries = okr (Uio.Client.fold_entries client ~log ~init:[] (fun acc e -> e :: acc)) in
+  Alcotest.(check (list string)) "read back" [ "over the wire"; "second" ]
+    (List.rev_map (fun e -> e.Uio.Message.payload) entries)
+
+let test_remote_naming () =
+  let _f, _rpc, client, _tr = rpc_fixture () in
+  let id = okr (Uio.Client.ensure_log client "/deep/nested/log") in
+  Alcotest.(check int) "resolve matches" id (okr (Uio.Client.resolve client "/deep/nested/log"));
+  Alcotest.(check string) "path_of" "/deep/nested/log" (okr (Uio.Client.path_of client id));
+  let names = okr (Uio.Client.list_logs client "/deep") in
+  Alcotest.(check (list string)) "listing" [ "nested" ] (List.map (fun (_, n, _) -> n) names);
+  okr (Uio.Client.set_perms client ~log:id 0o400);
+  let names = okr (Uio.Client.list_logs client "/deep/nested") in
+  Alcotest.(check (list int)) "perms visible" [ 0o400 ] (List.map (fun (_, _, p) -> p) names)
+
+let test_remote_cursors_bidirectional () =
+  let _f, rpc, client, _tr = rpc_fixture () in
+  let log = okr (Uio.Client.create_log client "/c") in
+  for i = 0 to 9 do
+    ignore (okr (Uio.Client.append client ~log (string_of_int i)))
+  done;
+  let c = okr (Uio.Client.open_cursor client ~log Uio.Message.From_end) in
+  Alcotest.(check int) "server tracks cursor" 1 (Uio.Rpc_server.open_cursors rpc);
+  let p () = (Option.get (okr (Uio.Client.prev c))).Uio.Message.payload in
+  let n () = (Option.get (okr (Uio.Client.next c))).Uio.Message.payload in
+  Alcotest.(check string) "prev" "9" (p ());
+  Alcotest.(check string) "prev" "8" (p ());
+  Alcotest.(check string) "next again" "8" (n ());
+  okr (Uio.Client.close_cursor c);
+  Alcotest.(check int) "cursor closed" 0 (Uio.Rpc_server.open_cursors rpc);
+  (match Uio.Client.next c with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "closed cursor must error")
+
+let test_remote_time_search () =
+  let f, _rpc, client, _tr = rpc_fixture () in
+  let log = okr (Uio.Client.create_log client "/t") in
+  let stamps =
+    List.init 20 (fun i ->
+        Sim.Clock.advance f.clock 1000L;
+        Option.get (okr (Uio.Client.append client ~log (Printf.sprintf "t%d" i))))
+  in
+  let ts10 = List.nth stamps 10 in
+  let e = Option.get (okr (Uio.Client.entry_at_or_after client ~log ts10)) in
+  Alcotest.(check string) "at-or-after" "t10" e.Uio.Message.payload;
+  let e = Option.get (okr (Uio.Client.entry_before client ~log ts10)) in
+  Alcotest.(check string) "before" "t9" e.Uio.Message.payload;
+  let c = okr (Uio.Client.open_cursor client ~log (Uio.Message.From_time ts10)) in
+  let rec first_ge () =
+    match Option.get (okr (Uio.Client.next c)) with
+    | e when e.Uio.Message.timestamp >= Some ts10 -> e.Uio.Message.payload
+    | _ -> first_ge ()
+  in
+  Alcotest.(check string) "cursor from time" "t10" (first_ge ())
+
+let test_remote_errors_propagate () =
+  let _f, _rpc, client, _tr = rpc_fixture () in
+  (match Uio.Client.resolve client "/missing" with
+  | Error msg -> Alcotest.(check bool) "mentions the path" true (String.length msg > 0)
+  | Ok _ -> Alcotest.fail "must fail");
+  (match Uio.Client.append client ~log:0 "x" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "append to root must fail remotely too");
+  ignore (okr (Uio.Client.create_log client "/dup"));
+  match Uio.Client.create_log client "/dup" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "duplicate create must fail"
+
+let test_transport_accounting () =
+  let f, _rpc, client, tr = rpc_fixture ~latency_us:750L () in
+  let t0 = Sim.Clock.peek f.clock in
+  let log = okr (Uio.Client.create_log client "/acct") in
+  ignore (okr (Uio.Client.append client ~log "fifty bytes of client data, more or less padded"));
+  Alcotest.(check int) "two round trips" 2 (Uio.Transport.round_trips tr);
+  let elapsed = Int64.sub (Sim.Clock.peek f.clock) t0 in
+  Alcotest.(check bool) "IPC latency charged" true (Int64.compare elapsed 1500L >= 0);
+  Alcotest.(check bool) "bytes counted" true (Uio.Transport.bytes_sent tr > 50)
+
+let test_remote_multi_member_append () =
+  let _f, _rpc, client, _tr = rpc_fixture () in
+  let a = okr (Uio.Client.create_log client "/a") in
+  let b = okr (Uio.Client.create_log client "/b") in
+  ignore (okr (Uio.Client.append client ~log:a ~extra_members:[ b ] "both"));
+  let in_b = okr (Uio.Client.fold_entries client ~log:b ~init:0 (fun n _ -> n + 1)) in
+  Alcotest.(check int) "extra membership over the wire" 1 in_b
+
+let prop_request_fuzz =
+  (* Arbitrary bytes never crash the server dispatcher. *)
+  Testkit.qtest ~count:300 "dispatcher total on garbage" QCheck2.Gen.(string_size (int_range 0 64))
+    (fun junk ->
+      let f = make_fixture () in
+      let rpc = Uio.Rpc_server.create f.srv in
+      match Uio.Message.decode_response (Uio.Rpc_server.handle rpc junk) with
+      | Ok _ -> true
+      | Error _ -> false)
+
+let () =
+  run "uio"
+    [
+      ( "codec",
+        [
+          Alcotest.test_case "requests roundtrip" `Quick requests_roundtrip;
+          Alcotest.test_case "responses roundtrip" `Quick responses_roundtrip;
+          Alcotest.test_case "garbage rejected" `Quick codec_rejects_garbage;
+        ] );
+      ( "end-to-end",
+        [
+          Alcotest.test_case "write/read" `Quick test_remote_write_read;
+          Alcotest.test_case "naming" `Quick test_remote_naming;
+          Alcotest.test_case "cursors" `Quick test_remote_cursors_bidirectional;
+          Alcotest.test_case "time search" `Quick test_remote_time_search;
+          Alcotest.test_case "errors propagate" `Quick test_remote_errors_propagate;
+          Alcotest.test_case "transport accounting" `Quick test_transport_accounting;
+          Alcotest.test_case "multi-member append" `Quick test_remote_multi_member_append;
+          prop_request_fuzz;
+        ] );
+    ]

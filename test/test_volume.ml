@@ -1,0 +1,61 @@
+(* Volume headers (block 0) and analysis formulas live here too. *)
+
+let hdr =
+  {
+    Clio.Volume.block_size = 512;
+    capacity = 2048;
+    fanout = 16;
+    seq_uid = 77L;
+    vol_index = 3;
+    vol_uid = 1234L;
+    prev_uid = 1233L;
+    created = 55_000L;
+  }
+
+let test_roundtrip () =
+  let b = Clio.Volume.encode_header hdr in
+  Alcotest.(check int) "full block image" 512 (Bytes.length b);
+  let h2 = Testkit.ok (Clio.Volume.decode_header b) in
+  Alcotest.(check bool) "identical" true (h2 = hdr)
+
+let test_magic_check () =
+  let b = Clio.Volume.encode_header hdr in
+  Bytes.set b 0 'X';
+  (match Clio.Volume.decode_header b with
+  | Error (Clio.Errors.Bad_record _) -> ()
+  | _ -> Alcotest.fail "expected magic failure");
+  Alcotest.(check bool) "is_volume_header false" false (Clio.Volume.is_volume_header b)
+
+let test_crc_check () =
+  let b = Clio.Volume.encode_header hdr in
+  Bytes.set b 20 (Char.chr (Char.code (Bytes.get b 20) lxor 1));
+  match Clio.Volume.decode_header b with
+  | Error (Clio.Errors.Corrupt_block 0) -> ()
+  | _ -> Alcotest.fail "expected CRC failure"
+
+let test_not_a_log_block () =
+  (* A volume header must never classify as a valid log block. *)
+  let b = Clio.Volume.encode_header hdr in
+  match Clio.Block_format.classify b with
+  | Clio.Block_format.Corrupt -> ()
+  | _ -> Alcotest.fail "volume header must not parse as log data"
+
+let test_size_mismatch () =
+  let b = Clio.Volume.encode_header hdr in
+  let shorter = Bytes.sub b 0 256 in
+  match Clio.Volume.decode_header shorter with
+  | Error (Clio.Errors.Bad_record _) -> ()
+  | _ -> Alcotest.fail "expected size mismatch"
+
+let () =
+  Testkit.run "volume"
+    [
+      ( "header",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_roundtrip;
+          Alcotest.test_case "magic check" `Quick test_magic_check;
+          Alcotest.test_case "crc check" `Quick test_crc_check;
+          Alcotest.test_case "not a log block" `Quick test_not_a_log_block;
+          Alcotest.test_case "size mismatch" `Quick test_size_mismatch;
+        ] );
+    ]

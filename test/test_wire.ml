@@ -1,0 +1,95 @@
+(* Little-endian codecs, encoder/decoder, CRC-32. *)
+
+let test_fixed_width_roundtrip () =
+  let b = Bytes.make 32 '\000' in
+  Clio.Wire.set_u8 b 0 0xAB;
+  Clio.Wire.set_u16 b 1 0xBEEF;
+  Clio.Wire.set_u32 b 3 0xDEADBEEF;
+  Clio.Wire.set_i64 b 7 (-123456789012345L);
+  Alcotest.(check int) "u8" 0xAB (Clio.Wire.get_u8 b 0);
+  Alcotest.(check int) "u16" 0xBEEF (Clio.Wire.get_u16 b 1);
+  Alcotest.(check int) "u32" 0xDEADBEEF (Clio.Wire.get_u32 b 3);
+  Alcotest.(check int64) "i64" (-123456789012345L) (Clio.Wire.get_i64 b 7)
+
+let test_crc_known_vector () =
+  (* CRC-32("123456789") = 0xCBF43926, the classic check value. *)
+  let b = Bytes.of_string "123456789" in
+  Alcotest.(check int) "check value" 0xCBF43926 (Clio.Wire.crc32 b ~pos:0 ~len:9)
+
+let test_crc_empty () =
+  Alcotest.(check int) "empty crc" 0 (Clio.Wire.crc32 Bytes.empty ~pos:0 ~len:0)
+
+let test_crc_detects_flip () =
+  let b = Bytes.make 100 'x' in
+  let c1 = Clio.Wire.crc32 b ~pos:0 ~len:100 in
+  Bytes.set b 57 'y';
+  let c2 = Clio.Wire.crc32 b ~pos:0 ~len:100 in
+  Alcotest.(check bool) "flip detected" true (c1 <> c2)
+
+let test_crc_subrange () =
+  let b = Bytes.of_string "AA123456789ZZ" in
+  Alcotest.(check int) "range" 0xCBF43926 (Clio.Wire.crc32 b ~pos:2 ~len:9)
+
+let test_enc_dec_roundtrip () =
+  let enc = Clio.Wire.Enc.create () in
+  Clio.Wire.Enc.u8 enc 42;
+  Clio.Wire.Enc.u16 enc 65535;
+  Clio.Wire.Enc.u32 enc 7_000_000;
+  Clio.Wire.Enc.i64 enc Int64.min_int;
+  Clio.Wire.Enc.bytes enc "hello";
+  let dec = Clio.Wire.Dec.of_string (Clio.Wire.Enc.contents enc) in
+  Alcotest.(check int) "u8" 42 (Testkit.ok (Clio.Wire.Dec.u8 dec));
+  Alcotest.(check int) "u16" 65535 (Testkit.ok (Clio.Wire.Dec.u16 dec));
+  Alcotest.(check int) "u32" 7_000_000 (Testkit.ok (Clio.Wire.Dec.u32 dec));
+  Alcotest.(check int64) "i64" Int64.min_int (Testkit.ok (Clio.Wire.Dec.i64 dec));
+  Alcotest.(check string) "bytes" "hello" (Testkit.ok (Clio.Wire.Dec.bytes dec 5));
+  Alcotest.(check bool) "at end" true (Clio.Wire.Dec.at_end dec)
+
+let test_dec_truncation_detected () =
+  let dec = Clio.Wire.Dec.of_string "ab" in
+  (match Clio.Wire.Dec.u32 dec with
+  | Error (Clio.Errors.Bad_record _) -> ()
+  | _ -> Alcotest.fail "expected truncation error");
+  (* And the cursor did not advance past the end. *)
+  Alcotest.(check int) "remaining" 2 (Clio.Wire.Dec.remaining dec)
+
+let prop_u16_roundtrip =
+  Testkit.qtest "u16 roundtrip" QCheck2.Gen.(int_range 0 65535) (fun v ->
+      let enc = Clio.Wire.Enc.create () in
+      Clio.Wire.Enc.u16 enc v;
+      Testkit.ok (Clio.Wire.Dec.u16 (Clio.Wire.Dec.of_string (Clio.Wire.Enc.contents enc))) = v)
+
+let prop_i64_roundtrip =
+  Testkit.qtest "i64 roundtrip" QCheck2.Gen.(map Int64.of_int int) (fun v ->
+      let enc = Clio.Wire.Enc.create () in
+      Clio.Wire.Enc.i64 enc v;
+      Testkit.ok (Clio.Wire.Dec.i64 (Clio.Wire.Dec.of_string (Clio.Wire.Enc.contents enc))) = v)
+
+let prop_crc_insensitive_to_context =
+  Testkit.qtest "crc of subrange ignores surroundings" QCheck2.Gen.(string_size (int_range 1 64))
+    (fun s ->
+      let a = Bytes.of_string ("xx" ^ s ^ "yy") in
+      let b = Bytes.of_string ("qq" ^ s ^ "zz") in
+      Clio.Wire.crc32 a ~pos:2 ~len:(String.length s)
+      = Clio.Wire.crc32 b ~pos:2 ~len:(String.length s))
+
+let () =
+  Testkit.run "wire"
+    [
+      ( "codec",
+        [
+          Alcotest.test_case "fixed width roundtrip" `Quick test_fixed_width_roundtrip;
+          Alcotest.test_case "enc/dec roundtrip" `Quick test_enc_dec_roundtrip;
+          Alcotest.test_case "truncation detected" `Quick test_dec_truncation_detected;
+          prop_u16_roundtrip;
+          prop_i64_roundtrip;
+        ] );
+      ( "crc32",
+        [
+          Alcotest.test_case "known vector" `Quick test_crc_known_vector;
+          Alcotest.test_case "empty" `Quick test_crc_empty;
+          Alcotest.test_case "detects bit flip" `Quick test_crc_detects_flip;
+          Alcotest.test_case "subrange" `Quick test_crc_subrange;
+          prop_crc_insensitive_to_context;
+        ] );
+    ]

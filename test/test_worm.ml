@@ -1,0 +1,229 @@
+(* The write-once device contract, across every implementation and wrapper. *)
+
+let block n c = Bytes.make n c
+
+let test_mem_append_read () =
+  let d = Worm.Mem_device.create ~block_size:64 ~capacity:16 () in
+  let io = Worm.Mem_device.io d in
+  let i0 = Result.get_ok (io.Worm.Block_io.append (block 64 'a')) in
+  let i1 = Result.get_ok (io.Worm.Block_io.append (block 64 'b')) in
+  Alcotest.(check int) "first block" 0 i0;
+  Alcotest.(check int) "second block" 1 i1;
+  Alcotest.(check bytes) "read back" (block 64 'a') (Result.get_ok (io.Worm.Block_io.read 0));
+  Alcotest.(check bytes) "read back" (block 64 'b') (Result.get_ok (io.Worm.Block_io.read 1))
+
+let test_mem_unwritten_read_fails () =
+  let io = Worm.Mem_device.io (Worm.Mem_device.create ~block_size:64 ~capacity:16 ()) in
+  match io.Worm.Block_io.read 3 with
+  | Error (Worm.Block_io.Unwritten 3) -> ()
+  | Error e -> Alcotest.failf "wrong error: %s" (Worm.Block_io.error_to_string e)
+  | Ok _ -> Alcotest.fail "read of unwritten block succeeded"
+
+let test_mem_wrong_size_rejected () =
+  let io = Worm.Mem_device.io (Worm.Mem_device.create ~block_size:64 ~capacity:16 ()) in
+  match io.Worm.Block_io.append (block 32 'x') with
+  | Error (Worm.Block_io.Wrong_size 32) -> ()
+  | _ -> Alcotest.fail "expected Wrong_size"
+
+let test_mem_out_of_space () =
+  let io = Worm.Mem_device.io (Worm.Mem_device.create ~block_size:64 ~capacity:2 ()) in
+  ignore (io.Worm.Block_io.append (block 64 'a'));
+  ignore (io.Worm.Block_io.append (block 64 'b'));
+  match io.Worm.Block_io.append (block 64 'c') with
+  | Error Worm.Block_io.Out_of_space -> ()
+  | _ -> Alcotest.fail "expected Out_of_space"
+
+let test_mem_invalidate_reads_ones () =
+  let io = Worm.Mem_device.io (Worm.Mem_device.create ~block_size:64 ~capacity:16 ()) in
+  ignore (io.Worm.Block_io.append (block 64 'a'));
+  Result.get_ok (io.Worm.Block_io.invalidate 0);
+  let b = Result.get_ok (io.Worm.Block_io.read 0) in
+  Alcotest.(check bool) "all ones" true (Worm.Block_io.is_invalidated_pattern b)
+
+let test_mem_invalidate_ahead_skips () =
+  (* Invalidating an unwritten block consumes it: the next append skips it. *)
+  let io = Worm.Mem_device.io (Worm.Mem_device.create ~block_size:64 ~capacity:16 ()) in
+  ignore (io.Worm.Block_io.append (block 64 'a'));
+  Result.get_ok (io.Worm.Block_io.invalidate 1);
+  let idx = Result.get_ok (io.Worm.Block_io.append (block 64 'b')) in
+  Alcotest.(check int) "skipped invalidated block" 2 idx;
+  Alcotest.(check (option int)) "frontier past it" (Some 3) (io.Worm.Block_io.frontier ())
+
+let test_mem_frontier_hidden () =
+  let io =
+    Worm.Mem_device.io (Worm.Mem_device.create ~block_size:64 ~capacity:16 ~reports_frontier:false ())
+  in
+  ignore (io.Worm.Block_io.append (block 64 'a'));
+  Alcotest.(check (option int)) "no frontier report" None (io.Worm.Block_io.frontier ())
+
+let test_mem_stats () =
+  let d = Worm.Mem_device.create ~block_size:64 ~capacity:16 () in
+  let io = Worm.Mem_device.io d in
+  ignore (io.Worm.Block_io.append (block 64 'a'));
+  ignore (io.Worm.Block_io.read 0);
+  ignore (io.Worm.Block_io.read 0);
+  Alcotest.(check int) "appends" 1 io.Worm.Block_io.stats.Worm.Dev_stats.appends;
+  Alcotest.(check int) "reads" 2 io.Worm.Block_io.stats.Worm.Dev_stats.reads;
+  Alcotest.(check int) "bytes written" 64 io.Worm.Block_io.stats.Worm.Dev_stats.bytes_written
+
+let with_tmp_file f =
+  let path = Filename.temp_file "clio_vol" ".img" in
+  Fun.protect ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ()) (fun () -> f path)
+
+let test_file_device_persistence () =
+  with_tmp_file (fun path ->
+      let d = Result.get_ok (Worm.File_device.create ~path ~block_size:64 ~capacity:16 ()) in
+      let io = Worm.File_device.io d in
+      ignore (io.Worm.Block_io.append (block 64 'p'));
+      ignore (io.Worm.Block_io.append (block 64 'q'));
+      Result.get_ok (io.Worm.Block_io.invalidate 1);
+      Worm.File_device.close d;
+      let d2 = Result.get_ok (Worm.File_device.open_existing ~path) in
+      let io2 = Worm.File_device.io d2 in
+      Alcotest.(check bytes) "block 0 persisted" (block 64 'p')
+        (Result.get_ok (io2.Worm.Block_io.read 0));
+      Alcotest.(check bool) "block 1 invalidated" true
+        (Worm.Block_io.is_invalidated_pattern (Result.get_ok (io2.Worm.Block_io.read 1)));
+      Alcotest.(check (option int)) "frontier resumes" (Some 2) (io2.Worm.Block_io.frontier ());
+      let idx = Result.get_ok (io2.Worm.Block_io.append (block 64 'r')) in
+      Alcotest.(check int) "append continues" 2 idx;
+      Worm.File_device.close d2)
+
+let test_file_device_geometry_check () =
+  with_tmp_file (fun path ->
+      let d = Result.get_ok (Worm.File_device.create ~path ~block_size:64 ~capacity:16 ()) in
+      Worm.File_device.close d;
+      match Worm.File_device.create ~path ~block_size:128 ~capacity:16 () with
+      | Error (Worm.Block_io.Io_error _) -> ()
+      | _ -> Alcotest.fail "expected geometry mismatch error")
+
+let test_faulty_bad_block_fails_append () =
+  let base = Worm.Mem_device.create ~block_size:64 ~capacity:16 () in
+  let f = Worm.Faulty_device.create (Worm.Mem_device.io base) in
+  let io = Worm.Faulty_device.io f in
+  Worm.Faulty_device.mark_bad f 0;
+  (match io.Worm.Block_io.append (block 64 'a') with
+  | Error (Worm.Block_io.Bad_block 0) -> ()
+  | _ -> Alcotest.fail "expected Bad_block");
+  (* After invalidating, the append lands past the damage. *)
+  Result.get_ok (io.Worm.Block_io.invalidate 0);
+  let idx = Result.get_ok (io.Worm.Block_io.append (block 64 'a')) in
+  Alcotest.(check int) "landed after bad block" 1 idx
+
+let test_faulty_corruption_visible () =
+  let base = Worm.Mem_device.create ~block_size:64 ~capacity:16 () in
+  let f = Worm.Faulty_device.create (Worm.Mem_device.io base) in
+  let io = Worm.Faulty_device.io f in
+  ignore (io.Worm.Block_io.append (block 64 'a'));
+  Worm.Faulty_device.corrupt_block f 0;
+  let b = Result.get_ok (io.Worm.Block_io.read 0) in
+  Alcotest.(check bool) "garbage differs" true (b <> block 64 'a')
+
+let test_faulty_spray_after_frontier () =
+  let base = Worm.Mem_device.create ~block_size:64 ~capacity:16 () in
+  let f = Worm.Faulty_device.create (Worm.Mem_device.io base) in
+  let io = Worm.Faulty_device.io f in
+  ignore (io.Worm.Block_io.append (block 64 'a'));
+  Worm.Faulty_device.spray_garbage_after_frontier f ~count:2;
+  (* Unwritten blocks 1 and 2 now read as garbage instead of failing. *)
+  Alcotest.(check bool) "block 1 reads" true (Result.is_ok (io.Worm.Block_io.read 1));
+  Alcotest.(check bool) "block 2 reads" true (Result.is_ok (io.Worm.Block_io.read 2));
+  (match io.Worm.Block_io.read 3 with
+  | Error (Worm.Block_io.Unwritten _) -> ()
+  | _ -> Alcotest.fail "block 3 should be unwritten");
+  (* A real append overwrites the sprayed garbage. *)
+  let idx = Result.get_ok (io.Worm.Block_io.append (block 64 'b')) in
+  Alcotest.(check int) "append lands on sprayed block" 1 idx;
+  Alcotest.(check bytes) "real data wins" (block 64 'b') (Result.get_ok (io.Worm.Block_io.read 1))
+
+let test_timed_device_charges () =
+  let clock = Sim.Clock.simulated ~tick:0L () in
+  let base = Worm.Mem_device.create ~block_size:64 ~capacity:4096 () in
+  let td = Worm.Timed_device.create ~clock ~model:Sim.Seek_model.optical (Worm.Mem_device.io base) in
+  let io = Worm.Timed_device.io td in
+  ignore (io.Worm.Block_io.append (block 64 'a'));
+  for _ = 1 to 99 do
+    ignore (io.Worm.Block_io.append (block 64 'a'))
+  done;
+  let before = Worm.Timed_device.busy_us td in
+  ignore (io.Worm.Block_io.read 99);
+  let far = Int64.sub (Worm.Timed_device.busy_us td) before in
+  let before = Worm.Timed_device.busy_us td in
+  ignore (io.Worm.Block_io.read 99);
+  let near = Int64.sub (Worm.Timed_device.busy_us td) before in
+  Alcotest.(check bool) "distant read costs more than repeat" true (Int64.compare far near > 0);
+  Alcotest.(check int) "head position" 99 (Worm.Timed_device.head_position td)
+
+let test_timed_separate_heads () =
+  (* With separate heads, appends do not drag the read head. *)
+  let clock = Sim.Clock.simulated ~tick:0L () in
+  let base = Worm.Mem_device.create ~block_size:64 ~capacity:4096 () in
+  let td =
+    Worm.Timed_device.create ~clock ~model:Sim.Seek_model.optical ~separate_heads:true
+      (Worm.Mem_device.io base)
+  in
+  let io = Worm.Timed_device.io td in
+  for _ = 1 to 50 do
+    ignore (io.Worm.Block_io.append (block 64 'a'))
+  done;
+  ignore (io.Worm.Block_io.read 10);
+  ignore (io.Worm.Block_io.append (block 64 'a'));
+  Alcotest.(check int) "read head stays" 10 (Worm.Timed_device.head_position td)
+
+let test_nvram_roundtrip () =
+  let nv = Worm.Nvram.create () in
+  Alcotest.(check bool) "empty" true (Worm.Nvram.load nv = None);
+  Worm.Nvram.store nv ~block:7 (Bytes.of_string "tail");
+  (match Worm.Nvram.load nv with
+  | Some (7, b) -> Alcotest.(check string) "contents" "tail" (Bytes.to_string b)
+  | _ -> Alcotest.fail "load failed");
+  Worm.Nvram.store nv ~block:8 (Bytes.of_string "tail2");
+  (match Worm.Nvram.load nv with
+  | Some (8, _) -> ()
+  | _ -> Alcotest.fail "overwrite failed");
+  Alcotest.(check int) "sync count" 2 (Worm.Nvram.syncs nv);
+  Worm.Nvram.clear nv;
+  Alcotest.(check bool) "cleared" true (Worm.Nvram.load nv = None)
+
+let test_invalidated_pattern () =
+  Alcotest.(check bool) "all ones" true
+    (Worm.Block_io.is_invalidated_pattern (Worm.Block_io.invalidated_block 64));
+  Alcotest.(check bool) "not all ones" false
+    (Worm.Block_io.is_invalidated_pattern (Bytes.make 64 '\xfe'))
+
+let () =
+  Testkit.run "worm"
+    [
+      ( "mem-device",
+        [
+          Alcotest.test_case "append/read" `Quick test_mem_append_read;
+          Alcotest.test_case "unwritten read fails" `Quick test_mem_unwritten_read_fails;
+          Alcotest.test_case "wrong size rejected" `Quick test_mem_wrong_size_rejected;
+          Alcotest.test_case "out of space" `Quick test_mem_out_of_space;
+          Alcotest.test_case "invalidate reads ones" `Quick test_mem_invalidate_reads_ones;
+          Alcotest.test_case "invalidate ahead skips" `Quick test_mem_invalidate_ahead_skips;
+          Alcotest.test_case "frontier hidden" `Quick test_mem_frontier_hidden;
+          Alcotest.test_case "stats" `Quick test_mem_stats;
+        ] );
+      ( "file-device",
+        [
+          Alcotest.test_case "persistence" `Quick test_file_device_persistence;
+          Alcotest.test_case "geometry check" `Quick test_file_device_geometry_check;
+        ] );
+      ( "faulty-device",
+        [
+          Alcotest.test_case "bad block fails append" `Quick test_faulty_bad_block_fails_append;
+          Alcotest.test_case "corruption visible" `Quick test_faulty_corruption_visible;
+          Alcotest.test_case "spray after frontier" `Quick test_faulty_spray_after_frontier;
+        ] );
+      ( "timed-device",
+        [
+          Alcotest.test_case "charges seeks" `Quick test_timed_device_charges;
+          Alcotest.test_case "separate heads" `Quick test_timed_separate_heads;
+        ] );
+      ( "nvram",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_nvram_roundtrip;
+          Alcotest.test_case "invalidated pattern" `Quick test_invalidated_pattern;
+        ] );
+    ]

@@ -1,0 +1,80 @@
+(** Shared helpers for the test suites. *)
+
+let ok = function
+  | Ok v -> v
+  | Error e -> Alcotest.failf "unexpected error: %s" (Clio.Errors.to_string e)
+
+let err = function
+  | Ok _ -> Alcotest.fail "expected an error"
+  | Error e -> e
+
+(** A test fixture: a server over in-memory WORM devices, with every piece a
+    simulated crash must preserve kept addressable. *)
+type fixture = {
+  mutable srv : Clio.Server.t;
+  clock : Sim.Clock.t;
+  nvram : Worm.Nvram.t option;
+  config : Clio.Config.t;
+  devices : (int, Worm.Mem_device.t) Hashtbl.t;
+  alloc : vol_index:int -> (Worm.Block_io.t, Clio.Errors.t) result;
+}
+
+let make_fixture ?(config = Clio.Config.default) ?(block_size = 256) ?(capacity = 1024)
+    ?(nvram = true) ?(reports_frontier = true) () =
+  let config = { config with Clio.Config.block_size } in
+  let clock = Sim.Clock.simulated () in
+  let devices = Hashtbl.create 4 in
+  let alloc ~vol_index =
+    let d = Worm.Mem_device.create ~block_size ~capacity ~reports_frontier () in
+    Hashtbl.replace devices vol_index d;
+    Ok (Worm.Mem_device.io d)
+  in
+  let nvram = if nvram then Some (Worm.Nvram.create ()) else None in
+  let srv = ok (Clio.Server.create ~config ~clock ?nvram ~alloc_volume:alloc ()) in
+  { srv; clock; nvram; config; devices; alloc }
+
+let fixture_devices f =
+  Hashtbl.fold (fun i d acc -> (i, d) :: acc) f.devices []
+  |> List.sort compare
+  |> List.map (fun (_, d) -> Worm.Mem_device.io d)
+
+(** Simulate a crash: throw the server away, recover from devices (+NVRAM). *)
+let crash_and_recover f =
+  let srv =
+    ok
+      (Clio.Server.recover ~config:f.config ~clock:f.clock ?nvram:f.nvram
+         ~alloc_volume:f.alloc ~devices:(fixture_devices f) ())
+  in
+  f.srv <- srv;
+  srv
+
+let append f ~log ?extra_members ?force payload =
+  ok (Clio.Server.append ?extra_members ?force f.srv ~log payload)
+
+let create_log f path = ok (Clio.Server.create_log f.srv path)
+
+let all_payloads srv ~log =
+  List.rev
+    (ok
+       (Clio.Server.fold_entries srv ~log ~init:[] (fun acc e ->
+            e.Clio.Reader.payload :: acc)))
+
+let all_payloads_backward srv ~log =
+  let c = ok (Clio.Server.cursor_end srv ~log) in
+  let rec go acc =
+    match ok (Clio.Server.prev c) with
+    | Some e -> go (e.Clio.Reader.payload :: acc)
+    | None -> acc
+  in
+  go []
+
+let drop_caches srv =
+  let st = Clio.Server.state srv in
+  Array.iter (fun v -> Blockcache.Cache.drop v.Clio.Vol.cache) st.Clio.State.vols
+
+let check_payloads = Alcotest.(check (list string))
+
+let qtest ?(count = 200) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
+
+let run name suites = Alcotest.run ~compact:true name suites
