@@ -143,7 +143,18 @@ let measure_locate p log =
 
 (* ------------------------------ bechamel ------------------------------ *)
 
-let run_bechamel ?(quota = 0.5) (test : Bechamel.Test.t) : (string * float) list =
+(* CI smoke runs set CLIO_BENCH_QUICK=1; sections shrink their workloads
+   (fewer iterations, smaller search distances) so a full pass takes
+   seconds instead of minutes. *)
+let quick () =
+  match Sys.getenv_opt "CLIO_BENCH_QUICK" with
+  | None | Some ("" | "0") -> false
+  | Some _ -> true
+
+let bechamel_quota () = if quick () then 0.05 else 0.5
+
+let run_bechamel ?quota (test : Bechamel.Test.t) : (string * float) list =
+  let quota = match quota with Some q -> q | None -> bechamel_quota () in
   let open Bechamel in
   let cfg =
     Benchmark.cfg ~limit:2000 ~quota:(Time.second quota) ~stabilize:false ~compaction:false ()
@@ -164,3 +175,27 @@ let ns_to_string ns =
   else if ns >= 1e6 then Printf.sprintf "%.2f ms" (ns /. 1e6)
   else if ns >= 1e3 then Printf.sprintf "%.2f us" (ns /. 1e3)
   else Printf.sprintf "%.0f ns" ns
+
+(* ----------------------------- JSON export ----------------------------- *)
+
+(* Bench sections that produce comparable numbers also write
+   BENCH_<name>.json in the current directory: the printed rows in
+   machine-readable form under ["rows"], plus the fixture server's full
+   metrics export under ["metrics"] — the same object `clio stats --json`
+   emits, so one consumer parses both. *)
+let emit_bench_json ~name ~rows srv =
+  let open Obs.Json in
+  let json =
+    Obj
+      [
+        ("bench", Str name);
+        ("quick", Bool (quick ()));
+        ("rows", List rows);
+        ("metrics", Clio.Server.metrics_obj srv);
+      ]
+  in
+  let path = Printf.sprintf "BENCH_%s.json" name in
+  Out_channel.with_open_text path (fun oc ->
+      Out_channel.output_string oc (to_string_pretty json);
+      Out_channel.output_char oc '\n');
+  Printf.printf "  [wrote %s]\n%!" path

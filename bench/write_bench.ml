@@ -20,7 +20,8 @@ let tests () =
   in
   let log_pure = Util.ok (Clio.Server.ensure_log f_pure.Util.srv "/bench") in
   let payload50 = String.make 50 'p' in
-  Test.make_grouped ~name:"write"
+  ( f_force.Util.srv,
+    Test.make_grouped ~name:"write"
     [
       Test.make ~name:"null entry (async)"
         (Staged.stage (fun () -> Util.ok (Clio.Server.append f_null.Util.srv ~log:log_null "")));
@@ -36,7 +37,7 @@ let tests () =
         (Staged.stage
            (let st = Clio.Server.state f_null.Util.srv in
             fun () -> ignore (Clio.State.fresh_ts st)));
-    ]
+    ] )
 
 let entrymap_upkeep_cost () =
   (* The paper isolates entrymap upkeep at ~70 us/entry. Ours is the
@@ -74,7 +75,7 @@ let modeled_ipc_writes () =
     in
     let client = Uio.Client.connect transport in
     let log = match Uio.Client.create_log client "/w" with Ok l -> l | Error e -> failwith e in
-    let n = 2000 in
+    let n = if Util.quick () then 200 else 2000 in
     let sim0 = Sim.Clock.peek f.Util.clock in
     let wall0 = Unix.gettimeofday () in
     for _ = 1 to n do
@@ -108,7 +109,8 @@ let modeled_ipc_writes () =
 
 let run () =
   Util.section "SECTION 3.2 - log writing latency";
-  let results = Util.run_bechamel (tests ()) in
+  let srv, test = tests () in
+  let results = Util.run_bechamel test in
   let columns = [ "operation"; "time/entry"; "paper (Sun-3)" ] in
   let paper = function
     | "write/null entry (async)" -> "2.0 ms (sync incl. IPC)"
@@ -120,6 +122,13 @@ let run () =
   in
   Util.table ~columns
     (List.map (fun (name, ns) -> [ name; Util.ns_to_string ns; paper name ]) results);
+  Util.emit_bench_json ~name:"write"
+    ~rows:
+      (List.map
+         (fun (name, ns) ->
+           Obs.Json.Obj [ ("operation", Obs.Json.Str name); ("ns_per_entry", Obs.Json.Float ns) ])
+         results)
+    srv;
   entrymap_upkeep_cost ();
   print_endline
     "  (the paper's numbers include a 0.5-1 ms V-System IPC round trip; ours are\n\

@@ -3,21 +3,33 @@ type t = {
   lru : bytes Lru.t;
   mutable hits : int;
   mutable misses : int;
+  obs_hits : Obs.Metrics.counter option;
+  obs_misses : Obs.Metrics.counter option;
 }
 
-let create ?(capacity_blocks = 1024) inner =
-  { inner; lru = Lru.create ~capacity:capacity_blocks; hits = 0; misses = 0 }
+let create ?(capacity_blocks = 1024) ?metrics inner =
+  let obs_hits = Option.map (fun m -> Obs.Metrics.counter m "cache_hits") metrics in
+  let obs_misses = Option.map (fun m -> Obs.Metrics.counter m "cache_misses") metrics in
+  { inner; lru = Lru.create ~capacity:capacity_blocks; hits = 0; misses = 0; obs_hits; obs_misses }
 
+let bump c = match c with Some c -> Obs.Metrics.incr c | None -> ()
+
+(* Cached blocks are handed out as copies in both directions: the cache owns
+   its buffers exclusively. Returning the resident [bytes] aliased let a
+   caller's in-place mutation silently corrupt every later hit (and any CRC
+   check made against it). *)
 let read t idx : (bytes, Worm.Block_io.error) result =
   match Lru.find t.lru idx with
   | Some b ->
     t.hits <- t.hits + 1;
-    Ok b
+    bump t.obs_hits;
+    Ok (Bytes.copy b)
   | None -> (
     t.misses <- t.misses + 1;
+    bump t.obs_misses;
     match t.inner.Worm.Block_io.read idx with
     | Ok b ->
-      ignore (Lru.add t.lru idx b);
+      ignore (Lru.add t.lru idx (Bytes.copy b));
       Ok b
     | Error _ as e -> e)
 

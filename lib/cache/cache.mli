@@ -12,12 +12,16 @@
 
 type t
 
-val create : ?capacity_blocks:int -> Worm.Block_io.t -> t
-(** [capacity_blocks] defaults to 1024 (1 MB of 1 KB blocks). *)
+val create : ?capacity_blocks:int -> ?metrics:Obs.Metrics.t -> Worm.Block_io.t -> t
+(** [capacity_blocks] defaults to 1024 (1 MB of 1 KB blocks). When [metrics]
+    is given, hits and misses are mirrored into its shared [cache_hits] /
+    [cache_misses] counters (on top of this cache's own counters). *)
 
 val io : t -> Worm.Block_io.t
 (** The caching view. Appended blocks are inserted into the cache on the way
-    down (the paper's "log entry in the block cache" write path). *)
+    down (the paper's "log entry in the block cache" write path). Reads
+    return a private copy: mutating a returned block never corrupts the
+    cache's resident buffer. *)
 
 val hits : t -> int
 val misses : t -> int

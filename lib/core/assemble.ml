@@ -30,9 +30,6 @@ let next_block_pos st pos =
     Ok (Some { vol = pos.vol + 1; block = 1; rec_index = 0 })
   else Ok None
 
-let is_continuation_of id (r : Block_format.record) =
-  (not (Header.is_start r.Block_format.header)) && r.Block_format.header.Header.logfile = id
-
 let entry_at st pos =
   let* recs = records_at st pos in
   match recs with
@@ -47,6 +44,13 @@ let entry_at st pos =
         let id = start.Block_format.header.Header.logfile in
         let buf = Buffer.create (String.length start.Block_format.payload) in
         Buffer.add_string buf start.Block_format.payload;
+        (* The chain checksum of everything accumulated so far: the next
+           fragment must carry exactly this tag. A same-file continuation
+           with a different tag belongs to a *different* entry — its own
+           earlier fragments were lost with an invalidated block (a
+           scrubbed corruption, or recovery quarantining a torn write) — so
+           gluing it here would fabricate an entry that was never written. *)
+        let chain = ref (Header.chain_update Header.chain_seed start.Block_format.payload) in
         (* Scan forward for version-3 records of [id], accumulating payload
            until a fragment ends the entry. *)
         let rec scan pos from_rec =
@@ -62,15 +66,18 @@ let entry_at st pos =
             (* A *start* record of the same file before the continuation
                means the entry was truncated by a crash: fragments of one
                file never interleave with its starts in normal operation
-               (section 2.3.1 volatile-tail loss). *)
+               (section 2.3.1 volatile-tail loss). A continuation of the
+               same file with the wrong chain tag means the same thing —
+               our entry's real continuation is gone. *)
             let rec in_block i =
               if i >= Array.length recs then `Not_here
-              else if is_continuation_of id recs.(i) then `Found (recs.(i), i)
-              else if
-                Header.is_start recs.(i).Block_format.header
-                && recs.(i).Block_format.header.Header.logfile = id
-              then `Truncated
-              else in_block (i + 1)
+              else begin
+                let h = recs.(i).Block_format.header in
+                if h.Header.logfile <> id then in_block (i + 1)
+                else if Header.is_start h then `Truncated
+                else if h.Header.chain = !chain then `Found (recs.(i), i)
+                else `Truncated
+              end
             in
             let advance () =
               let* next = next_block_pos st { pos with rec_index = 0 } in
@@ -79,6 +86,7 @@ let entry_at st pos =
             (match in_block from_rec with
             | `Found (r, i) ->
               Buffer.add_string buf r.Block_format.payload;
+              chain := Header.chain_update !chain r.Block_format.payload;
               if r.Block_format.continues then
                 (* The next fragment may sit later in this very block (a
                    volume roll re-stages carried fragments wherever they

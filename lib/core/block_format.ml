@@ -60,6 +60,10 @@ let classify block =
       | Error _ -> Corrupt
   end
 
+let is_forced block =
+  let bs = Bytes.length block in
+  bs >= trailer_bytes && Wire.get_u8 block (bs - trailer_bytes + 3) land flag_forced <> 0
+
 let parse block =
   match classify block with
   | Valid records -> Ok records

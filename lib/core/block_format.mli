@@ -37,6 +37,11 @@ val parse : bytes -> (record array, Errors.t) result
 (** [classify] folded into a result ([Invalidated]/[Corrupt] become
     errors). *)
 
+val is_forced : bytes -> bool
+(** True if the block image carries the forced-flush trailer flag — set on
+    blocks burned by an explicit force and on NVRAM-staged tail images, both
+    of which mark a durability point recovery may rely on. *)
+
 val first_timestamp : record array -> int64 option
 (** Timestamp of record 0 — mandatory on every written block, the anchor of
     the time search (section 2.1). *)

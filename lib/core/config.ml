@@ -5,6 +5,7 @@ type t = {
   nvram_tail : bool;
   entrymap_slack : int;
   timestamp_all : bool;
+  trace_ops : bool;
 }
 
 let default =
@@ -15,6 +16,7 @@ let default =
     nvram_tail = true;
     entrymap_slack = 4;
     timestamp_all = true;
+    trace_ops = false;
   }
 
 let validate t =

@@ -16,6 +16,9 @@ type t = {
   timestamp_all : bool;
       (** Timestamp every entry (the paper's full 14-byte header), not just
           the mandatory first-entry-per-block ones. *)
+  trace_ops : bool;
+      (** Record a span per operation in {!Obs.Trace} (metrics counters and
+          latency histograms are always on; only span capture is gated). *)
 }
 
 val default : t

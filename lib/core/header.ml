@@ -3,6 +3,7 @@ type t = {
   logfile : Ids.logfile;
   timestamp : int64 option;
   extra_members : Ids.logfile list;
+  chain : int;
 }
 
 let v_plain = 1
@@ -14,28 +15,40 @@ let make ?timestamp ?(extra_members = []) logfile =
   assert (Ids.valid logfile);
   List.iter (fun id -> assert (Ids.valid id)) extra_members;
   match (timestamp, extra_members) with
-  | None, [] -> { version = v_plain; logfile; timestamp = None; extra_members = [] }
-  | Some _, [] -> { version = v_timestamped; logfile; timestamp; extra_members = [] }
+  | None, [] -> { version = v_plain; logfile; timestamp = None; extra_members = []; chain = 0 }
+  | Some _, [] -> { version = v_timestamped; logfile; timestamp; extra_members = []; chain = 0 }
   | _, _ :: _ ->
     (* Multi-member entries always carry a timestamp so they stay uniquely
        identifiable in every member log file. *)
     let timestamp = match timestamp with Some _ -> timestamp | None -> Some 0L in
-    { version = v_multi; logfile; timestamp; extra_members }
+    { version = v_multi; logfile; timestamp; extra_members; chain = 0 }
 
-let continuation logfile =
-  { version = v_continuation; logfile; timestamp = None; extra_members = [] }
+(* The chain checksum is a resumable 16-bit polynomial rolling hash: its
+   entire state is the 16-bit value itself, so a carried fragment's stored
+   tag seeds the checksum of any fragments split off from it later. *)
+let chain_seed = 0
+
+let chain_update chain s =
+  let c = ref (chain land 0xFFFF) in
+  String.iter (fun ch -> c := ((!c * 31) + Char.code ch) land 0xFFFF) s;
+  !c
+
+let continuation ?(chain = 0) logfile =
+  { version = v_continuation; logfile; timestamp = None; extra_members = []; chain }
 
 let is_start t = t.version <> v_continuation
 
 let byte_size t =
   match t.version with
-  | 1 | 3 -> 2
+  | 1 -> 2
+  | 3 -> 4
   | 2 -> 10
   | 4 -> 11 + (2 * List.length t.extra_members)
   | _ -> assert false
 
 let encode enc t =
   Wire.Enc.u16 enc ((t.version lsl 12) lor (t.logfile land 0xFFF));
+  if t.version = v_continuation then Wire.Enc.u16 enc t.chain;
   (match (t.version, t.timestamp) with
   | (2 | 4), Some ts -> Wire.Enc.i64 enc ts
   | (2 | 4), None -> assert false
@@ -56,12 +69,15 @@ let decode block ~pos =
   let version = word lsr 12 in
   let logfile = word land 0xFFF in
   match version with
-  | 1 -> Ok ({ version; logfile; timestamp = None; extra_members = [] }, pos + 2)
-  | 3 -> Ok ({ version; logfile; timestamp = None; extra_members = [] }, pos + 2)
+  | 1 -> Ok ({ version; logfile; timestamp = None; extra_members = []; chain = 0 }, pos + 2)
+  | 3 ->
+    let* () = need 4 in
+    let chain = Wire.get_u16 block (pos + 2) in
+    Ok ({ version; logfile; timestamp = None; extra_members = []; chain }, pos + 4)
   | 2 ->
     let* () = need 10 in
     let ts = Wire.get_i64 block (pos + 2) in
-    Ok ({ version; logfile; timestamp = Some ts; extra_members = [] }, pos + 10)
+    Ok ({ version; logfile; timestamp = Some ts; extra_members = []; chain = 0 }, pos + 10)
   | 4 ->
     let* () = need 11 in
     let ts = Wire.get_i64 block (pos + 2) in
@@ -70,7 +86,7 @@ let decode block ~pos =
     let extra_members =
       List.init count (fun i -> Wire.get_u16 block (pos + 11 + (2 * i)) land 0xFFF)
     in
-    Ok ({ version; logfile; timestamp = Some ts; extra_members }, pos + 11 + (2 * count))
+    Ok ({ version; logfile; timestamp = Some ts; extra_members; chain = 0 }, pos + 11 + (2 * count))
   | v -> Error (Errors.Bad_record (Printf.sprintf "unknown header version %d" v))
 
 let members t = t.logfile :: t.extra_members

@@ -8,7 +8,11 @@
       2 bytes of which are the size held in the block index);
     - [2] — entry start followed by a 64-bit timestamp (the paper's "complete
       14-byte log entry header"); mandatory for the first entry of a block;
-    - [3] — continuation fragment of an entry begun in an earlier block;
+    - [3] — continuation fragment of an entry begun in an earlier block,
+      tagged with a 16-bit rolling checksum of the entry's payload bytes
+      that precede the fragment, so reassembly can reject a fragment of a
+      {e different} entry when blocks between them were lost to invalidation
+      (a scrubbed corrupt block, or recovery quarantining a torn write);
     - [4] — entry start with timestamp and a list of additional member
       log-file ids (section 2.1 allows "a log entry to be a member of more
       than one log file"). *)
@@ -18,18 +22,28 @@ type t = {
   logfile : Ids.logfile;  (** primary (most specific) log file *)
   timestamp : int64 option;
   extra_members : Ids.logfile list;  (** version-4 additional memberships *)
+  chain : int;  (** version-3 fragment-chain checksum; 0 elsewhere *)
 }
 
 val make :
   ?timestamp:int64 -> ?extra_members:Ids.logfile list -> Ids.logfile -> t
 (** Chooses the smallest version that can represent the fields. *)
 
-val continuation : Ids.logfile -> t
-(** A version-3 fragment header. *)
+val continuation : ?chain:int -> Ids.logfile -> t
+(** A version-3 fragment header. [chain] is the checksum of every payload
+    byte of the entry preceding this fragment (see {!chain_update}). *)
+
+val chain_seed : int
+(** Initial chain-checksum state (an entry with no bytes yet). *)
+
+val chain_update : int -> string -> int
+(** [chain_update c s] folds [s] into checksum state [c]. The state is the
+    16-bit checksum itself, so a stored [chain] tag resumes the
+    computation — splitting a carried fragment re-derives correct tags. *)
 
 val is_start : t -> bool
 val byte_size : t -> int
-(** Encoded size: 2, 10, or 11 + 2·|extras|. *)
+(** Encoded size: 2 (v1), 4 (v3), 10 (v2), or 11 + 2·|extras| (v4). *)
 
 val encode : Wire.Enc.t -> t -> unit
 val decode : bytes -> pos:int -> ((t * int), Errors.t) result

@@ -165,6 +165,7 @@ let rec search_down_next st v ~log ~level ~base ~from ~limit =
    per level). Near entries stay cheap; an entry N^k blocks away costs about
    2k-1 examinations (Table 1). *)
 let prev_block st v ~log ~before =
+  Obs.time st.State.obs st.State.probes.State.h_locate "locate.prev" @@ fun () ->
   let limit = min before (Vol.written_limit v) in
   if limit <= 1 then Ok None
   else if log = Ids.root then begin
@@ -218,6 +219,7 @@ let prev_block st v ~log ~before =
 (* --------------------------- next direction -------------------------- *)
 
 let next_block st v ~log ~from =
+  Obs.time st.State.obs st.State.probes.State.h_locate "locate.next" @@ fun () ->
   let limit = Vol.written_limit v in
   let from = max from 1 in
   if from >= limit then Ok None

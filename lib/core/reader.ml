@@ -51,7 +51,7 @@ let make_entry c (header : Header.t) payload pos =
 
 (* ------------------------------ next ------------------------------ *)
 
-let rec next c : (entry option, Errors.t) result =
+let rec next_inner c : (entry option, Errors.t) result =
   let p = c.point in
   if p.Assemble.vol >= State.nvols c.st then Ok None
   else begin
@@ -59,7 +59,7 @@ let rec next c : (entry option, Errors.t) result =
     let limit = Vol.written_limit v in
     let advance_volume () =
       c.point <- { Assemble.vol = p.Assemble.vol + 1; block = 1; rec_index = 0 };
-      next c
+      next_inner c
     in
     if p.Assemble.block >= limit then
       if p.Assemble.vol + 1 < State.nvols c.st then advance_volume () else Ok None
@@ -82,7 +82,7 @@ and scan_block c : (entry option, Errors.t) result =
   match Vol.view_block v p.Assemble.block with
   | Vol.Invalid | Vol.Corrupted | Vol.Missing ->
     c.point <- { p with block = p.Assemble.block + 1; rec_index = 0 };
-    next c
+    next_inner c
   | Vol.Records recs ->
     let is_open_tail =
       p.Assemble.vol = State.nvols c.st - 1
@@ -99,7 +99,7 @@ and scan_block c : (entry option, Errors.t) result =
         end
         else begin
           c.point <- { p with block = p.Assemble.block + 1; rec_index = 0 };
-          next c
+          next_inner c
         end
       else begin
         let r = recs.(i) in
@@ -124,7 +124,7 @@ and scan_block c : (entry option, Errors.t) result =
 
 (* ------------------------------ prev ------------------------------ *)
 
-let rec prev c : (entry option, Errors.t) result =
+let rec prev_inner c : (entry option, Errors.t) result =
   let p = c.point in
   if p.Assemble.vol < 0 then Ok None
   else begin
@@ -135,7 +135,7 @@ let rec prev c : (entry option, Errors.t) result =
         let* pv = State.vol c.st (p.Assemble.vol - 1) in
         c.point <-
           { Assemble.vol = p.Assemble.vol - 1; block = Vol.written_limit pv; rec_index = 0 };
-        prev c
+        prev_inner c
       end
     in
     let jump_before block =
@@ -148,7 +148,7 @@ let rec prev c : (entry option, Errors.t) result =
     in
     if p.Assemble.block > Vol.written_limit v then begin
       c.point <- { p with block = Vol.written_limit v; rec_index = 0 };
-      prev c
+      prev_inner c
     end
     else if p.Assemble.rec_index = 0 then jump_before p.Assemble.block
     else scan_block_back c
@@ -159,7 +159,7 @@ and scan_block_back c : (entry option, Errors.t) result =
   let* v = State.vol c.st p.Assemble.vol in
   let jump () =
     c.point <- { p with rec_index = 0 };
-    prev c
+    prev_inner c
   in
   match Vol.view_block v p.Assemble.block with
   | Vol.Invalid | Vol.Corrupted | Vol.Missing -> jump ()
@@ -189,3 +189,11 @@ and scan_block_back c : (entry option, Errors.t) result =
       end
     in
     scan hi
+
+(* Public cursor steps: one read span + latency sample per call, however many
+   blocks the step crosses internally. *)
+let next c =
+  Obs.time c.st.State.obs c.st.State.probes.State.h_read "read.next" (fun () -> next_inner c)
+
+let prev c =
+  Obs.time c.st.State.obs c.st.State.probes.State.h_read "read.prev" (fun () -> prev_inner c)

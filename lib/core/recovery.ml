@@ -176,6 +176,7 @@ let replay_catalog st =
 let recover ~config ~clock ?nvram ~alloc_volume ~devices () =
   let* config = Config.validate config in
   let st = State.make ~config ~clock ?nvram ~alloc_volume () in
+  Obs.time st.State.obs st.State.probes.State.h_recover "recover" @@ fun () ->
   st.State.stats.Stats.recoveries <- st.State.stats.Stats.recoveries + 1;
   (* Read and validate every volume header. *)
   let* headed =
@@ -205,7 +206,7 @@ let recover ~config ~clock ?nvram ~alloc_volume ~devices () =
   let vols =
     List.map
       (fun (hdr, dev) ->
-        let v = Vol.make ~config ~hdr dev in
+        let v = Vol.make ~config ~metrics:st.State.obs.Obs.metrics ~hdr dev in
         let upper = find_frontier st dev in
         let f = quarantine_garbage st v upper in
         v.Vol.tail_index <- max f 1;
@@ -251,15 +252,12 @@ let recover ~config ~clock ?nvram ~alloc_volume ~devices () =
             (* Re-queue any entrymap entries due at this boundary; duplicates
                are harmless (locate takes the first match). *)
             let due = Entrymap.Pending.due_at active.Vol.pending ~block in
-            let captured =
-              List.filter_map
-                (fun level ->
-                  match Entrymap.Pending.take active.Vol.pending ~level ~boundary:block with
-                  | Some e -> Some (active, e)
-                  | None -> None)
-                due
-            in
-            st.State.deferred_emissions <- st.State.deferred_emissions @ captured;
+            List.iter
+              (fun level ->
+                match Entrymap.Pending.take active.Vol.pending ~level ~boundary:block with
+                | Some e -> Queue.add (active, e) st.State.deferred_emissions
+                | None -> ())
+              due;
             Ok ()
           | Block_format.Invalidated | Block_format.Corrupt ->
             Worm.Nvram.clear nv;

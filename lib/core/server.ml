@@ -213,3 +213,86 @@ let volume_blocks_used st =
     0 st.State.vols
 
 let state st = st
+
+(* ----------------------------- observability ----------------------------- *)
+
+let obs st = st.State.obs
+let metrics st = st.State.obs.Obs.metrics
+
+let set_tracing st flag = Obs.Trace.set_enabled st.State.obs.Obs.trace flag
+let tracing st = Obs.Trace.enabled st.State.obs.Obs.trace
+let set_trace_sink st sink = Obs.Trace.set_sink st.State.obs.Obs.trace sink
+let trace_spans st = Obs.Trace.spans st.State.obs.Obs.trace
+let trace_jsonl st = Obs.Trace.to_jsonl st.State.obs.Obs.trace
+let clear_trace st = Obs.Trace.clear st.State.obs.Obs.trace
+
+let cache_totals st =
+  Array.fold_left
+    (fun (h, m, r) v ->
+      let c = v.Vol.cache in
+      (h + Blockcache.Cache.hits c, m + Blockcache.Cache.misses c, r + Blockcache.Cache.resident c))
+    (0, 0, 0) st.State.vols
+
+let device_totals st =
+  let acc = Worm.Dev_stats.create () in
+  Array.iter
+    (fun v ->
+      let d = v.Vol.dev.Worm.Block_io.stats in
+      acc.Worm.Dev_stats.reads <- acc.Worm.Dev_stats.reads + d.Worm.Dev_stats.reads;
+      acc.Worm.Dev_stats.appends <- acc.Worm.Dev_stats.appends + d.Worm.Dev_stats.appends;
+      acc.Worm.Dev_stats.invalidates <-
+        acc.Worm.Dev_stats.invalidates + d.Worm.Dev_stats.invalidates;
+      acc.Worm.Dev_stats.frontier_queries <-
+        acc.Worm.Dev_stats.frontier_queries + d.Worm.Dev_stats.frontier_queries;
+      acc.Worm.Dev_stats.bytes_read <- acc.Worm.Dev_stats.bytes_read + d.Worm.Dev_stats.bytes_read;
+      acc.Worm.Dev_stats.bytes_written <-
+        acc.Worm.Dev_stats.bytes_written + d.Worm.Dev_stats.bytes_written)
+    st.State.vols;
+  acc
+
+(* One schema for every export path ([clio_cli stats --json], BENCH_*.json,
+   the RPC metrics call): the registry's counters/gauges/histograms plus the
+   derived cache, device and volume sections. *)
+let metrics_obj st =
+  let open Obs.Json in
+  let hits, misses, resident = cache_totals st in
+  let d = device_totals st in
+  match Obs.Metrics.to_json (metrics st) with
+  | Obj fields ->
+    Obj
+      (fields
+      @ [
+          ("stats", Stats.to_json st.State.stats);
+          ( "cache",
+            Obj [ ("hits", Int hits); ("misses", Int misses); ("resident", Int resident) ] );
+          ( "device",
+            Obj
+              [
+                ("reads", Int d.Worm.Dev_stats.reads);
+                ("appends", Int d.Worm.Dev_stats.appends);
+                ("invalidates", Int d.Worm.Dev_stats.invalidates);
+                ("frontier_queries", Int d.Worm.Dev_stats.frontier_queries);
+                ("bytes_read", Int d.Worm.Dev_stats.bytes_read);
+                ("bytes_written", Int d.Worm.Dev_stats.bytes_written);
+              ] );
+          ( "volumes",
+            Obj [ ("count", Int (nvols st)); ("blocks_used", Int (volume_blocks_used st)) ] );
+        ])
+  | other -> other
+
+let metrics_json st = Obs.Json.to_string_pretty (metrics_obj st)
+
+let dump_metrics ppf st =
+  Obs.Metrics.pp ppf (metrics st);
+  let hits, misses, resident = cache_totals st in
+  Format.fprintf ppf "@\ncache: hits=%d misses=%d resident=%d" hits misses resident;
+  let d = device_totals st in
+  Format.fprintf ppf "@\ndevice: %a" Worm.Dev_stats.pp d
+
+let dump_trace ppf st =
+  List.iter
+    (fun (s : Obs.Trace.span) ->
+      Format.fprintf ppf "+%-10d %s%s (%d us)@\n" s.Obs.Trace.start_us
+        (String.make (2 * s.Obs.Trace.depth) ' ')
+        s.Obs.Trace.name s.Obs.Trace.dur_us)
+    (trace_spans st)

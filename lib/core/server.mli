@@ -141,3 +141,39 @@ val volume_blocks_used : t -> int
 
 val state : t -> State.t
 (** Escape hatch for benchmarks and tests that need the internals. *)
+
+(** {1 Observability}
+
+    Every server carries an {!Obs.t}: latency histograms on the hot paths
+    (append/force/flush/locate/read/time-search/recover), cache and device
+    counters, and an off-by-default span tracer clocked by the server's
+    {!Sim.Clock}. Enable tracing via {!Config.trace_ops} or {!set_tracing}. *)
+
+val obs : t -> Obs.t
+val metrics : t -> Obs.Metrics.t
+
+val metrics_obj : t -> Obs.Json.t
+(** The full metrics document: the registry's counters/gauges/histograms
+    plus ["stats"] (the {!Stats.t} fields), ["cache"] (hit/miss/resident
+    summed over volumes), ["device"] (op counts summed over volumes) and
+    ["volumes"]. [clio_cli stats --json] and the BENCH_*.json files embed
+    exactly this object. *)
+
+val metrics_json : t -> string
+(** {!metrics_obj} pretty-printed. *)
+
+val dump_metrics : Format.formatter -> t -> unit
+(** Human rendering of the same data. *)
+
+val set_tracing : t -> bool -> unit
+val tracing : t -> bool
+
+val set_trace_sink : t -> (string -> unit) option -> unit
+(** Stream finished spans as JSONL lines in addition to the in-memory ring. *)
+
+val trace_spans : t -> Obs.Trace.span list
+val trace_jsonl : t -> string
+val clear_trace : t -> unit
+
+val dump_trace : Format.formatter -> t -> unit
+(** Human rendering: start offset, indent by depth, name, duration. *)

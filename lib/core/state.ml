@@ -1,8 +1,23 @@
+(* Pre-resolved histogram handles for the hot paths: one Metrics lookup at
+   server construction, a plain record access per operation afterwards. *)
+type probes = {
+  h_append : Obs.Histogram.t;
+  h_force : Obs.Histogram.t;
+  h_flush : Obs.Histogram.t;
+  h_locate : Obs.Histogram.t;
+  h_read : Obs.Histogram.t;
+  h_time_search : Obs.Histogram.t;
+  h_recover : Obs.Histogram.t;
+  h_entry_bytes : Obs.Histogram.t;
+}
+
 type t = {
   config : Config.t;
   clock : Sim.Clock.t;
   catalog : Catalog.t;
   stats : Stats.t;
+  obs : Obs.t;
+  probes : probes;
   nvram : Worm.Nvram.t option;
   alloc_volume : vol_index:int -> (Worm.Block_io.t, Errors.t) result;
   mutable vols : Vol.t array;
@@ -11,17 +26,34 @@ type t = {
   mutable seq_uid : int64;
   mutable next_vol_uid : int64;
   mutable in_entry : bool;
-  mutable deferred_emissions : (Vol.t * Entrymap.entry) list;
+  deferred_emissions : (Vol.t * Entrymap.entry) Queue.t;
   mutable auto_mount : bool;
   mutable mounts : int;
 }
 
 let make ~config ~clock ?nvram ~alloc_volume () =
+  let obs = Obs.create ~now:(fun () -> Int64.to_int (Sim.Clock.peek clock)) () in
+  if config.Config.trace_ops then Obs.Trace.set_enabled obs.Obs.trace true;
+  let m = obs.Obs.metrics in
+  let probes =
+    {
+      h_append = Obs.Metrics.histogram m "append_us";
+      h_force = Obs.Metrics.histogram m "force_us";
+      h_flush = Obs.Metrics.histogram m "flush_us";
+      h_locate = Obs.Metrics.histogram m "locate_us";
+      h_read = Obs.Metrics.histogram m "read_entry_us";
+      h_time_search = Obs.Metrics.histogram m "time_search_us";
+      h_recover = Obs.Metrics.histogram m "recover_us";
+      h_entry_bytes = Obs.Metrics.histogram m "entry_bytes";
+    }
+  in
   {
     config;
     clock;
     catalog = Catalog.create ();
     stats = Stats.create ();
+    obs;
+    probes;
     nvram;
     alloc_volume;
     vols = [||];
@@ -30,7 +62,7 @@ let make ~config ~clock ?nvram ~alloc_volume () =
     seq_uid = 0L;
     next_vol_uid = 1L;
     in_entry = false;
-    deferred_emissions = [];
+    deferred_emissions = Queue.create ();
     auto_mount = true;
     mounts = 0;
   }

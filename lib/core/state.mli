@@ -1,11 +1,26 @@
 (** Whole-server mutable context shared by the writer, reader and recovery
     paths. {!Server} is the public facade over this. *)
 
+(** Pre-resolved latency/size histogram handles for the hot paths (resolved
+    once in {!make}; bumping one is a record write, no name lookup). *)
+type probes = {
+  h_append : Obs.Histogram.t;
+  h_force : Obs.Histogram.t;
+  h_flush : Obs.Histogram.t;
+  h_locate : Obs.Histogram.t;
+  h_read : Obs.Histogram.t;
+  h_time_search : Obs.Histogram.t;
+  h_recover : Obs.Histogram.t;
+  h_entry_bytes : Obs.Histogram.t;
+}
+
 type t = {
   config : Config.t;
   clock : Sim.Clock.t;
   catalog : Catalog.t;
   stats : Stats.t;
+  obs : Obs.t;  (** metrics registry + tracer, clocked by [clock] *)
+  probes : probes;
   nvram : Worm.Nvram.t option;
   alloc_volume : vol_index:int -> (Worm.Block_io.t, Errors.t) result;
       (** hands out a fresh device when the active volume fills *)
@@ -18,11 +33,13 @@ type t = {
   mutable in_entry : bool;
       (** an entry's fragments are being appended; entrymap emission must
           wait so fragments of one log file never interleave *)
-  mutable deferred_emissions : (Vol.t * Entrymap.entry) list;
+  deferred_emissions : (Vol.t * Entrymap.entry) Queue.t;
       (** entrymap entries captured at their boundary, awaiting emission
-          (oldest first). Captured eagerly — the covered range is complete
-          the moment its boundary block opens — and written as soon as no
-          entry is mid-flight. *)
+          (FIFO, oldest first). Captured eagerly — the covered range is
+          complete the moment its boundary block opens — and written as soon
+          as no entry is mid-flight. A queue, not a list: a long run of
+          boundary blocks appends one entry per level and list-append made
+          that O(n²). *)
   mutable auto_mount : bool;
       (** remount shelved volumes transparently when a read needs them
           (section 2.1's "on demand ... automatically"); when false, such

@@ -12,6 +12,7 @@ type t = {
   mutable nvram_syncs : int;
   mutable displaced_blocks : int;
   mutable bad_blocks : int;
+  mutable flush_retries : int;
   mutable volumes_sealed : int;
   mutable entries_read : int;
   mutable entrymap_records_examined : int;
@@ -38,6 +39,7 @@ let create () =
     nvram_syncs = 0;
     displaced_blocks = 0;
     bad_blocks = 0;
+    flush_retries = 0;
     volumes_sealed = 0;
     entries_read = 0;
     entrymap_records_examined = 0;
@@ -49,111 +51,71 @@ let create () =
     recovery_blocks_examined = 0;
   }
 
-let fields t =
+(* The single source of truth relating field names to accessors, in
+   declaration order. [fields], [reset], [snapshot] and [diff] all derive
+   from it, so a new counter only needs a record field (the compiler forces
+   [create] to cover it) and one row here; the drift-guard test in
+   test_obs.ml fails if the row is forgotten. *)
+let field_specs : (string * (t -> int) * (t -> int -> unit)) list =
   [
-    ("entries_appended", t.entries_appended);
-    ("bytes_client", t.bytes_client);
-    ("bytes_header", t.bytes_header);
-    ("bytes_index", t.bytes_index);
-    ("bytes_trailer", t.bytes_trailer);
-    ("bytes_entrymap", t.bytes_entrymap);
-    ("bytes_catalog", t.bytes_catalog);
-    ("bytes_padding", t.bytes_padding);
-    ("blocks_flushed", t.blocks_flushed);
-    ("forces", t.forces);
-    ("nvram_syncs", t.nvram_syncs);
-    ("displaced_blocks", t.displaced_blocks);
-    ("bad_blocks", t.bad_blocks);
-    ("volumes_sealed", t.volumes_sealed);
-    ("entries_read", t.entries_read);
-    ("entrymap_records_examined", t.entrymap_records_examined);
-    ("locate_block_reads", t.locate_block_reads);
-    ("fallback_blocks_scanned", t.fallback_blocks_scanned);
-    ("time_probe_reads", t.time_probe_reads);
-    ("recoveries", t.recoveries);
-    ("frontier_probe_reads", t.frontier_probe_reads);
-    ("recovery_blocks_examined", t.recovery_blocks_examined);
+    ("entries_appended", (fun t -> t.entries_appended), fun t v -> t.entries_appended <- v);
+    ("bytes_client", (fun t -> t.bytes_client), fun t v -> t.bytes_client <- v);
+    ("bytes_header", (fun t -> t.bytes_header), fun t v -> t.bytes_header <- v);
+    ("bytes_index", (fun t -> t.bytes_index), fun t v -> t.bytes_index <- v);
+    ("bytes_trailer", (fun t -> t.bytes_trailer), fun t v -> t.bytes_trailer <- v);
+    ("bytes_entrymap", (fun t -> t.bytes_entrymap), fun t v -> t.bytes_entrymap <- v);
+    ("bytes_catalog", (fun t -> t.bytes_catalog), fun t v -> t.bytes_catalog <- v);
+    ("bytes_padding", (fun t -> t.bytes_padding), fun t v -> t.bytes_padding <- v);
+    ("blocks_flushed", (fun t -> t.blocks_flushed), fun t v -> t.blocks_flushed <- v);
+    ("forces", (fun t -> t.forces), fun t v -> t.forces <- v);
+    ("nvram_syncs", (fun t -> t.nvram_syncs), fun t v -> t.nvram_syncs <- v);
+    ("displaced_blocks", (fun t -> t.displaced_blocks), fun t v -> t.displaced_blocks <- v);
+    ("bad_blocks", (fun t -> t.bad_blocks), fun t v -> t.bad_blocks <- v);
+    ("flush_retries", (fun t -> t.flush_retries), fun t v -> t.flush_retries <- v);
+    ("volumes_sealed", (fun t -> t.volumes_sealed), fun t v -> t.volumes_sealed <- v);
+    ("entries_read", (fun t -> t.entries_read), fun t v -> t.entries_read <- v);
+    ( "entrymap_records_examined",
+      (fun t -> t.entrymap_records_examined),
+      fun t v -> t.entrymap_records_examined <- v );
+    ("locate_block_reads", (fun t -> t.locate_block_reads), fun t v -> t.locate_block_reads <- v);
+    ( "fallback_blocks_scanned",
+      (fun t -> t.fallback_blocks_scanned),
+      fun t v -> t.fallback_blocks_scanned <- v );
+    ("time_probe_reads", (fun t -> t.time_probe_reads), fun t v -> t.time_probe_reads <- v);
+    ("recoveries", (fun t -> t.recoveries), fun t v -> t.recoveries <- v);
+    ( "frontier_probe_reads",
+      (fun t -> t.frontier_probe_reads),
+      fun t v -> t.frontier_probe_reads <- v );
+    ( "recovery_blocks_examined",
+      (fun t -> t.recovery_blocks_examined),
+      fun t v -> t.recovery_blocks_examined <- v );
   ]
 
-let reset t =
-  t.entries_appended <- 0;
-  t.bytes_client <- 0;
-  t.bytes_header <- 0;
-  t.bytes_index <- 0;
-  t.bytes_trailer <- 0;
-  t.bytes_entrymap <- 0;
-  t.bytes_catalog <- 0;
-  t.bytes_padding <- 0;
-  t.blocks_flushed <- 0;
-  t.forces <- 0;
-  t.nvram_syncs <- 0;
-  t.displaced_blocks <- 0;
-  t.bad_blocks <- 0;
-  t.volumes_sealed <- 0;
-  t.entries_read <- 0;
-  t.entrymap_records_examined <- 0;
-  t.locate_block_reads <- 0;
-  t.fallback_blocks_scanned <- 0;
-  t.time_probe_reads <- 0;
-  t.recoveries <- 0;
-  t.frontier_probe_reads <- 0;
-  t.recovery_blocks_examined <- 0
+let fields t = List.map (fun (name, get, _) -> (name, get t)) field_specs
+let set_field t name v =
+  match List.find_opt (fun (n, _, _) -> n = name) field_specs with
+  | Some (_, _, set) ->
+    set t v;
+    true
+  | None -> false
+
+let reset t = List.iter (fun (_, _, set) -> set t 0) field_specs
 
 let snapshot t =
   let s = create () in
-  s.entries_appended <- t.entries_appended;
-  s.bytes_client <- t.bytes_client;
-  s.bytes_header <- t.bytes_header;
-  s.bytes_index <- t.bytes_index;
-  s.bytes_trailer <- t.bytes_trailer;
-  s.bytes_entrymap <- t.bytes_entrymap;
-  s.bytes_catalog <- t.bytes_catalog;
-  s.bytes_padding <- t.bytes_padding;
-  s.blocks_flushed <- t.blocks_flushed;
-  s.forces <- t.forces;
-  s.nvram_syncs <- t.nvram_syncs;
-  s.displaced_blocks <- t.displaced_blocks;
-  s.bad_blocks <- t.bad_blocks;
-  s.volumes_sealed <- t.volumes_sealed;
-  s.entries_read <- t.entries_read;
-  s.entrymap_records_examined <- t.entrymap_records_examined;
-  s.locate_block_reads <- t.locate_block_reads;
-  s.fallback_blocks_scanned <- t.fallback_blocks_scanned;
-  s.time_probe_reads <- t.time_probe_reads;
-  s.recoveries <- t.recoveries;
-  s.frontier_probe_reads <- t.frontier_probe_reads;
-  s.recovery_blocks_examined <- t.recovery_blocks_examined;
+  List.iter (fun (_, get, set) -> set s (get t)) field_specs;
   s
 
 let diff ~after ~before =
   let d = create () in
-  d.entries_appended <- after.entries_appended - before.entries_appended;
-  d.bytes_client <- after.bytes_client - before.bytes_client;
-  d.bytes_header <- after.bytes_header - before.bytes_header;
-  d.bytes_index <- after.bytes_index - before.bytes_index;
-  d.bytes_trailer <- after.bytes_trailer - before.bytes_trailer;
-  d.bytes_entrymap <- after.bytes_entrymap - before.bytes_entrymap;
-  d.bytes_catalog <- after.bytes_catalog - before.bytes_catalog;
-  d.bytes_padding <- after.bytes_padding - before.bytes_padding;
-  d.blocks_flushed <- after.blocks_flushed - before.blocks_flushed;
-  d.forces <- after.forces - before.forces;
-  d.nvram_syncs <- after.nvram_syncs - before.nvram_syncs;
-  d.displaced_blocks <- after.displaced_blocks - before.displaced_blocks;
-  d.bad_blocks <- after.bad_blocks - before.bad_blocks;
-  d.volumes_sealed <- after.volumes_sealed - before.volumes_sealed;
-  d.entries_read <- after.entries_read - before.entries_read;
-  d.entrymap_records_examined <- after.entrymap_records_examined - before.entrymap_records_examined;
-  d.locate_block_reads <- after.locate_block_reads - before.locate_block_reads;
-  d.fallback_blocks_scanned <- after.fallback_blocks_scanned - before.fallback_blocks_scanned;
-  d.time_probe_reads <- after.time_probe_reads - before.time_probe_reads;
-  d.recoveries <- after.recoveries - before.recoveries;
-  d.frontier_probe_reads <- after.frontier_probe_reads - before.frontier_probe_reads;
-  d.recovery_blocks_examined <- after.recovery_blocks_examined - before.recovery_blocks_examined;
+  List.iter (fun (_, get, set) -> set d (get after - get before)) field_specs;
   d
 
 let overhead_bytes t =
   t.bytes_header + t.bytes_index + t.bytes_trailer + t.bytes_entrymap + t.bytes_catalog
   + t.bytes_padding
+
+let to_json t = Obs.Json.Obj (List.map (fun (name, v) -> (name, Obs.Json.Int v)) (fields t))
 
 let pp ppf t =
   Format.pp_open_vbox ppf 0;

@@ -20,6 +20,7 @@ type t = {
   mutable nvram_syncs : int;
   mutable displaced_blocks : int;  (** tail landed past its planned index *)
   mutable bad_blocks : int;
+  mutable flush_retries : int;  (** flush re-attempts after a bad block *)
   mutable volumes_sealed : int;
   (* read path *)
   mutable entries_read : int;
@@ -38,7 +39,17 @@ val reset : t -> unit
 val snapshot : t -> t
 val diff : after:t -> before:t -> t
 
+val fields : t -> (string * int) list
+(** Every counter as [(name, value)], in declaration order — derived from
+    the same field table as [reset]/[snapshot]/[diff], so the four can never
+    disagree about which fields exist. *)
+
+val set_field : t -> string -> int -> bool
+(** [set_field t name v] writes one counter by name; false if no such
+    field. Exists for the drift-guard test and for external tooling. *)
+
 val overhead_bytes : t -> int
 (** Total non-client bytes consumed on the medium. *)
 
+val to_json : t -> Obs.Json.t
 val pp : Format.formatter -> t -> unit

@@ -35,6 +35,7 @@ let descend_volume st v ts =
   descend (Vol.levels v) 1
 
 let seek st ts =
+  Obs.time st.State.obs st.State.probes.State.h_time_search "time_search" @@ fun () ->
   if State.nvols st = 0 then Error (Errors.Bad_record "no volumes")
   else begin
     (* Pick the last volume whose first data block is not after [ts]. *)

@@ -11,8 +11,10 @@ type t = {
   mutable online : bool;
 }
 
-let make ~config ~hdr dev =
-  let cache = Blockcache.Cache.create ~capacity_blocks:config.Config.cache_blocks dev in
+let make ~config ?metrics ~hdr dev =
+  let cache =
+    Blockcache.Cache.create ~capacity_blocks:config.Config.cache_blocks ?metrics dev
+  in
   let io = Blockcache.Cache.io cache in
   let levels = Config.levels config ~capacity:hdr.Volume.capacity in
   {

@@ -21,8 +21,11 @@ type t = {
           (section 2.1) and remounted on demand *)
 }
 
-val make : config:Config.t -> hdr:Volume.header -> Worm.Block_io.t -> t
-(** Wraps a device whose header block is already written/validated. *)
+val make :
+  config:Config.t -> ?metrics:Obs.Metrics.t -> hdr:Volume.header -> Worm.Block_io.t -> t
+(** Wraps a device whose header block is already written/validated. [metrics]
+    is forwarded to the block cache so per-server hit/miss counters aggregate
+    across all volumes of the sequence. *)
 
 val levels : t -> int
 val fanout : t -> int

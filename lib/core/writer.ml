@@ -49,17 +49,15 @@ let rec open_tail st (v : Vol.t) : (unit, Errors.t) result =
       (fun level ->
         match Entrymap.Pending.take v.pending ~level ~boundary with
         | None -> ()
-        | Some entry ->
-          st.State.deferred_emissions <- st.State.deferred_emissions @ [ (v, entry) ])
+        | Some entry -> Queue.add (v, entry) st.State.deferred_emissions)
       due;
     if st.State.in_entry then Ok () else pump_emissions st
   end
 
 and pump_emissions st : (unit, Errors.t) result =
-  match st.State.deferred_emissions with
-  | [] -> Ok ()
-  | (v, entry) :: rest ->
-    st.State.deferred_emissions <- rest;
+  match Queue.take_opt st.State.deferred_emissions with
+  | None -> Ok ()
+  | Some (v, entry) ->
     let* active = State.active st in
     if v.Vol.sealed || v != active then pump_emissions st (* lost to a roll; locate falls back *)
     else begin
@@ -91,7 +89,11 @@ and as_entry st f : (unit, Errors.t) result =
 and put_bytes st ~first ~continues_after payload : (unit, Errors.t) result =
   let total = String.length payload in
   let cont_id = first.Header.logfile in
-  let rec put offset hdr =
+  (* [chain] is the fragment-chain checksum of every entry byte already
+     written before [offset]. A carried continuation record seeds it from
+     its own stored tag, so re-fragmenting the carry keeps tags aligned
+     with the original entry's byte stream. *)
+  let rec put offset chain hdr =
     let* v = State.active st in
     let* () = open_tail st v in
     (* The first record of a block must carry a timestamp (section 2.1) —
@@ -113,7 +115,7 @@ and put_bytes st ~first ~continues_after payload : (unit, Errors.t) result =
         Error (Errors.Entry_too_large (hsize + remaining))
       else
         let* () = flush_tail st v in
-        put offset hdr
+        put offset chain hdr
     else begin
       let n = min avail remaining in
       let continues = offset + n < total || continues_after in
@@ -122,12 +124,16 @@ and put_bytes st ~first ~continues_after payload : (unit, Errors.t) result =
       account st hsize n cont_id;
       if offset + n < total then begin
         let* () = flush_tail st v in
-        put (offset + n) (Header.continuation cont_id)
+        let chain = Header.chain_update chain frag in
+        put (offset + n) chain (Header.continuation ~chain cont_id)
       end
       else Ok ()
     end
   in
-  put 0 first
+  let chain0 =
+    if Header.is_start first then Header.chain_seed else first.Header.chain
+  in
+  put 0 chain0 first
 
 and flush_tail ?(forced = false) st (v : Vol.t) : (unit, Errors.t) result =
   if (not v.tail_open) || Block_format.Builder.is_empty v.tail then begin
@@ -139,7 +145,7 @@ and flush_tail ?(forced = false) st (v : Vol.t) : (unit, Errors.t) result =
     let count = Block_format.Builder.count v.tail in
     let data_bytes = Block_format.Builder.data_bytes v.tail in
     let image = Block_format.Builder.finish ~forced v.tail in
-    let rec attempt () =
+    let rec attempt retries =
       match v.io.Worm.Block_io.append image with
       | Ok idx ->
         let s = st.State.stats in
@@ -161,12 +167,22 @@ and flush_tail ?(forced = false) st (v : Vol.t) : (unit, Errors.t) result =
       | Error (Worm.Block_io.Bad_block f) ->
         (* Invalidate the damaged block so the frontier moves past it, and
            remember to record its location in the bad-block log
-           (section 2.3.2). *)
+           (section 2.3.2). If the invalidation itself fails, the frontier
+           cannot advance and retrying would hit the same block forever, so
+           the failure must surface; the capacity cap is a backstop against
+           a device that accepts invalidations without moving its frontier. *)
         let s = st.State.stats in
         s.Stats.bad_blocks <- s.Stats.bad_blocks + 1;
-        (match v.io.Worm.Block_io.invalidate f with Ok () | Error _ -> ());
-        st.State.badblock_queue <- f :: st.State.badblock_queue;
-        attempt ()
+        s.Stats.flush_retries <- s.Stats.flush_retries + 1;
+        if retries >= v.hdr.Volume.capacity then
+          Error (Errors.Device (Worm.Block_io.Bad_block f))
+        else begin
+          match v.io.Worm.Block_io.invalidate f with
+          | Error e -> Error (Errors.Device e)
+          | Ok () ->
+            st.State.badblock_queue <- f :: st.State.badblock_queue;
+            attempt (retries + 1)
+        end
       | Error Worm.Block_io.Out_of_space ->
         (* Volume full: seal it, continue on a successor, and re-stage the
            unflushed records there. A non-forced flush stops at staging (the
@@ -181,7 +197,7 @@ and flush_tail ?(forced = false) st (v : Vol.t) : (unit, Errors.t) result =
         else Ok ()
       | Error e -> Error (Errors.Device e)
     in
-    attempt ()
+    Obs.time st.State.obs st.State.probes.State.h_flush "flush" (fun () -> attempt 0)
   end
 
 and roll_volume st : (unit, Errors.t) result =
@@ -207,7 +223,7 @@ and roll_volume st : (unit, Errors.t) result =
   let* hdr_idx = Errors.of_dev (dev.Worm.Block_io.append (Volume.encode_header hdr)) in
   if hdr_idx <> 0 then Error (Errors.Bad_record "successor volume not blank")
   else begin
-    let v = Vol.make ~config:st.State.config ~hdr dev in
+    let v = Vol.make ~config:st.State.config ~metrics:st.State.obs.Obs.metrics ~hdr dev in
     v.tail_index <- 1;
     st.State.vols <- Array.append st.State.vols [| v |];
     snapshot_catalog st
@@ -286,7 +302,7 @@ let init_sequence st : (unit, Errors.t) result =
     let* hdr_idx = Errors.of_dev (dev.Worm.Block_io.append (Volume.encode_header hdr)) in
     if hdr_idx <> 0 then Error (Errors.Bad_record "first volume not blank")
     else begin
-      let v = Vol.make ~config:st.State.config ~hdr dev in
+      let v = Vol.make ~config:st.State.config ~metrics:st.State.obs.Obs.metrics ~hdr dev in
       v.tail_index <- 1;
       st.State.vols <- [| v |];
       Ok ()
@@ -294,9 +310,11 @@ let init_sequence st : (unit, Errors.t) result =
   end
 
 let append_entry st ~header payload =
-  as_entry st (fun () -> put_bytes st ~first:header ~continues_after:false payload)
+  Obs.Histogram.record st.State.probes.State.h_entry_bytes (String.length payload);
+  Obs.time st.State.obs st.State.probes.State.h_append "append" (fun () ->
+      as_entry st (fun () -> put_bytes st ~first:header ~continues_after:false payload))
 
-let force st : (unit, Errors.t) result =
+let force_inner st : (unit, Errors.t) result =
   let* v = State.active st in
   st.State.stats.Stats.forces <- st.State.stats.Stats.forces + 1;
   if (not v.tail_open) || Block_format.Builder.is_empty v.tail then Ok ()
@@ -304,14 +322,20 @@ let force st : (unit, Errors.t) result =
     match (st.State.config.Config.nvram_tail, st.State.nvram) with
     | true, Some nv ->
       (* Stage the partial tail in battery-backed RAM; it keeps filling and
-         reaches the WORM medium only when full (section 2.3.1). *)
-      let image = Block_format.Builder.finish v.tail in
+         reaches the WORM medium only when full (section 2.3.1). The staged
+         image must carry the forced flag like a burned force would: if it
+         is replayed verbatim after a crash, recovery has to see that this
+         block boundary was a durability point. *)
+      let image = Block_format.Builder.finish ~forced:true v.tail in
       Worm.Nvram.store nv ~block:v.tail_index image;
       st.State.stats.Stats.nvram_syncs <- st.State.stats.Stats.nvram_syncs + 1;
       Ok ()
     | _ ->
       (* Pure write-once: burn the partial block, wasting its free space. *)
       flush_tail ~forced:true st v
+
+let force st : (unit, Errors.t) result =
+  Obs.time st.State.obs st.State.probes.State.h_force "force" (fun () -> force_inner st)
 
 let log_catalog_op st op : (unit, Errors.t) result =
   let* () = Catalog.apply st.State.catalog op in

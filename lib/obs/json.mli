@@ -1,0 +1,24 @@
+(** Minimal JSON emitter — just enough to render metrics, traces and bench
+    results without pulling a dependency into the observability layer.
+
+    Values are built as a tree and serialized with correct string escaping
+    and deterministic field order (whatever order the caller supplies). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact single-line rendering. [Float nan]/[infinity] render as [null]
+    (JSON has no encoding for them). *)
+
+val to_string_pretty : t -> string
+(** Two-space indented rendering, for files meant to be read by humans. *)
+
+val escape : string -> string
+(** The quoted, escaped form of a string literal. *)

@@ -1,0 +1,74 @@
+type counter = { mutable value : int }
+
+type t = {
+  counters_tbl : (string, counter) Hashtbl.t;
+  gauges_tbl : (string, int ref) Hashtbl.t;
+  histograms_tbl : (string, Histogram.t) Hashtbl.t;
+}
+
+let create () =
+  {
+    counters_tbl = Hashtbl.create 16;
+    gauges_tbl = Hashtbl.create 16;
+    histograms_tbl = Hashtbl.create 16;
+  }
+
+let counter t name =
+  match Hashtbl.find_opt t.counters_tbl name with
+  | Some c -> c
+  | None ->
+    let c = { value = 0 } in
+    Hashtbl.replace t.counters_tbl name c;
+    c
+
+let incr ?(by = 1) c = c.value <- c.value + by
+let counter_value c = c.value
+
+let gauge t name v =
+  match Hashtbl.find_opt t.gauges_tbl name with
+  | Some r -> r := v
+  | None -> Hashtbl.replace t.gauges_tbl name (ref v)
+
+let histogram t name =
+  match Hashtbl.find_opt t.histograms_tbl name with
+  | Some h -> h
+  | None ->
+    let h = Histogram.create () in
+    Hashtbl.replace t.histograms_tbl name h;
+    h
+
+let sorted_names l = List.sort (fun (a, _) (b, _) -> compare a b) l
+
+let counters t =
+  sorted_names (Hashtbl.fold (fun n c acc -> (n, c.value) :: acc) t.counters_tbl [])
+
+let gauges t = sorted_names (Hashtbl.fold (fun n r acc -> (n, !r) :: acc) t.gauges_tbl [])
+
+let histograms t =
+  sorted_names (Hashtbl.fold (fun n h acc -> (n, h) :: acc) t.histograms_tbl [])
+
+let to_json t =
+  Json.Obj
+    [
+      ("counters", Json.Obj (List.map (fun (n, v) -> (n, Json.Int v)) (counters t)));
+      ("gauges", Json.Obj (List.map (fun (n, v) -> (n, Json.Int v)) (gauges t)));
+      ( "histograms",
+        Json.Obj (List.map (fun (n, h) -> (n, Histogram.to_json h)) (histograms t)) );
+    ]
+
+let pp ppf t =
+  Format.pp_open_vbox ppf 0;
+  List.iter
+    (fun (n, v) -> if v <> 0 then Format.fprintf ppf "%-28s %d@," n v)
+    (counters t);
+  List.iter (fun (n, v) -> Format.fprintf ppf "%-28s %d@," n v) (gauges t);
+  List.iter
+    (fun (n, h) ->
+      if Histogram.count h > 0 then Format.fprintf ppf "%-28s %a@," n Histogram.pp h)
+    (histograms t);
+  Format.pp_close_box ppf ()
+
+let reset t =
+  Hashtbl.iter (fun _ c -> c.value <- 0) t.counters_tbl;
+  Hashtbl.iter (fun _ r -> r := 0) t.gauges_tbl;
+  Hashtbl.iter (fun _ h -> Histogram.reset h) t.histograms_tbl

@@ -1,0 +1,41 @@
+(** Named counters, gauges and latency histograms for one server instance.
+
+    Handles ([counter], [Histogram.t]) are resolved once at instrumentation
+    setup and then bumped with plain field writes, so the steady-state cost
+    of a metric is an increment — no per-operation hash lookups. *)
+
+type t
+
+(** A monotonically increasing named count. *)
+type counter
+
+val create : unit -> t
+
+val counter : t -> string -> counter
+(** Get-or-create by name. *)
+
+val incr : ?by:int -> counter -> unit
+val counter_value : counter -> int
+
+val gauge : t -> string -> int -> unit
+(** Set a point-in-time value (overwrites). *)
+
+val histogram : t -> string -> Histogram.t
+(** Get-or-create by name. By convention latency histograms end in [_us]
+    and size histograms in [_bytes]. *)
+
+val counters : t -> (string * int) list
+(** Sorted by name. *)
+
+val gauges : t -> (string * int) list
+val histograms : t -> (string * Histogram.t) list
+
+val to_json : t -> Json.t
+(** [{"counters":{...},"gauges":{...},"histograms":{name:{count,sum,min,max,
+    mean,p50,p90,p99},...}}]. *)
+
+val pp : Format.formatter -> t -> unit
+(** Multi-line human rendering; zero-count entries are skipped. *)
+
+val reset : t -> unit
+(** Zero every counter, gauge and histogram (handles stay valid). *)

@@ -1,0 +1,26 @@
+module Json = Json
+module Histogram = Histogram
+module Metrics = Metrics
+module Trace = Trace
+
+type t = {
+  metrics : Metrics.t;
+  trace : Trace.t;
+  now : unit -> int;
+}
+
+let create ?trace_capacity ~now () =
+  { metrics = Metrics.create (); trace = Trace.create ?capacity:trace_capacity ~now (); now }
+
+let time t h name f =
+  let tok = Trace.enter t.trace name in
+  let t0 = t.now () in
+  match f () with
+  | r ->
+    Histogram.record h (t.now () - t0);
+    Trace.exit t.trace tok;
+    r
+  | exception e ->
+    Histogram.record h (t.now () - t0);
+    Trace.exit t.trace tok;
+    raise e

@@ -1,0 +1,25 @@
+(** Observability: metrics, latency histograms and operation tracing.
+
+    Dependency-free (stdlib only). One {!t} bundles a metrics registry and a
+    tracer around a shared microsecond clock; the server keeps one per
+    instance and threads it through every layer. *)
+
+module Json = Json
+module Histogram = Histogram
+module Metrics = Metrics
+module Trace = Trace
+
+type t = {
+  metrics : Metrics.t;
+  trace : Trace.t;
+  now : unit -> int;  (** microseconds; simulated or wall, caller's choice *)
+}
+
+val create : ?trace_capacity:int -> now:(unit -> int) -> unit -> t
+(** Tracing starts disabled; flip it with [Trace.set_enabled t.trace]. *)
+
+val time : t -> Histogram.t -> string -> (unit -> 'a) -> 'a
+(** [time t h name f] runs [f], records its clock duration into [h], and —
+    when tracing is enabled — wraps it in a span called [name]. This is the
+    one instrumentation primitive the server layers use; when tracing is
+    off it costs two clock reads and a histogram increment. *)

@@ -1,0 +1,83 @@
+type span = {
+  id : int;
+  name : string;
+  depth : int;
+  start_us : int;
+  mutable dur_us : int;
+}
+
+type token = span option
+
+type t = {
+  now : unit -> int;
+  capacity : int;
+  ring : span Queue.t;
+  mutable enabled : bool;
+  mutable depth : int;
+  mutable next_id : int;
+  mutable sink : (string -> unit) option;
+}
+
+let create ?(capacity = 8192) ~now () =
+  { now; capacity; ring = Queue.create (); enabled = false; depth = 0; next_id = 1; sink = None }
+
+let set_enabled t flag =
+  t.enabled <- flag;
+  if not flag then t.depth <- 0
+
+let enabled t = t.enabled
+let set_sink t sink = t.sink <- sink
+
+let span_to_json (s : span) =
+  Json.Obj
+    [
+      ("id", Json.Int s.id);
+      ("name", Json.Str s.name);
+      ("depth", Json.Int s.depth);
+      ("start_us", Json.Int s.start_us);
+      ("dur_us", Json.Int s.dur_us);
+    ]
+
+let enter t name : token =
+  if not t.enabled then None
+  else begin
+    let s = { id = t.next_id; name; depth = t.depth; start_us = t.now (); dur_us = 0 } in
+    t.next_id <- t.next_id + 1;
+    t.depth <- t.depth + 1;
+    Some s
+  end
+
+let exit t (tok : token) =
+  match tok with
+  | None -> ()
+  | Some s ->
+    s.dur_us <- max 0 (t.now () - s.start_us);
+    if t.depth > 0 then t.depth <- t.depth - 1;
+    Queue.add s t.ring;
+    if Queue.length t.ring > t.capacity then ignore (Queue.pop t.ring);
+    (match t.sink with Some emit -> emit (Json.to_string (span_to_json s)) | None -> ())
+
+let with_span t name f =
+  let tok = enter t name in
+  match f () with
+  | r ->
+    exit t tok;
+    r
+  | exception e ->
+    exit t tok;
+    raise e
+
+let spans t = List.of_seq (Queue.to_seq t.ring)
+
+let clear t =
+  Queue.clear t.ring;
+  t.depth <- 0
+
+let to_jsonl t =
+  let buf = Buffer.create 1024 in
+  Queue.iter
+    (fun s ->
+      Buffer.add_string buf (Json.to_string (span_to_json s));
+      Buffer.add_char buf '\n')
+    t.ring;
+  Buffer.contents buf

@@ -1,0 +1,48 @@
+(** Lightweight per-operation span tracing.
+
+    A span covers one operation (append, locate, recover, ...); spans nest —
+    a flush inside an append records at depth 1 under the append's depth 0.
+    Time comes from a [now] closure supplied at creation, so a server on a
+    simulated {!Sim.Clock} traces simulated microseconds exactly and a wall
+    clock traces real ones.
+
+    Tracing is {e off by default}: [enter] on a disabled tracer returns a
+    constant token and touches nothing, so instrumented code costs one
+    branch. Completed spans go to a bounded in-memory ring (newest kept)
+    and, optionally, to a JSONL sink as they finish. *)
+
+type t
+
+type span = {
+  id : int;  (** creation order, 1-based *)
+  name : string;
+  depth : int;  (** nesting level at entry, 0 = top *)
+  start_us : int;  (** clock value when the span opened *)
+  mutable dur_us : int;
+}
+
+type token
+(** An open span (or nothing, when tracing is disabled). *)
+
+val create : ?capacity:int -> now:(unit -> int) -> unit -> t
+(** [capacity] bounds the retained completed spans (default 8192). *)
+
+val set_enabled : t -> bool -> unit
+val enabled : t -> bool
+
+val set_sink : t -> (string -> unit) option -> unit
+(** When set, every finished span is also emitted as one JSON line. *)
+
+val enter : t -> string -> token
+val exit : t -> token -> unit
+
+val with_span : t -> string -> (unit -> 'a) -> 'a
+(** [enter]/[exit] around [f], exception-safe. *)
+
+val spans : t -> span list
+(** Retained completed spans, oldest first. *)
+
+val clear : t -> unit
+val span_to_json : span -> Json.t
+val to_jsonl : t -> string
+(** One JSON object per line, oldest first, trailing newline. *)

@@ -2,9 +2,37 @@ type t = {
   srv : Clio.Server.t;
   cursors : (int, Clio.Reader.cursor) Hashtbl.t;
   mutable next_cursor : int;
+  h_rpc : Obs.Histogram.t;
+  c_requests : Obs.Metrics.counter;
+  c_errors : Obs.Metrics.counter;
 }
 
-let create srv = { srv; cursors = Hashtbl.create 16; next_cursor = 1 }
+let create srv =
+  let m = Clio.Server.metrics srv in
+  {
+    srv;
+    cursors = Hashtbl.create 16;
+    next_cursor = 1;
+    h_rpc = Obs.Metrics.histogram m "rpc_us";
+    c_requests = Obs.Metrics.counter m "rpc_requests";
+    c_errors = Obs.Metrics.counter m "rpc_errors";
+  }
+
+let request_name : Message.request -> string = function
+  | Message.Create_log _ -> "rpc.create_log"
+  | Message.Ensure_log _ -> "rpc.ensure_log"
+  | Message.Resolve _ -> "rpc.resolve"
+  | Message.Path_of _ -> "rpc.path_of"
+  | Message.List_logs _ -> "rpc.list_logs"
+  | Message.Set_perms _ -> "rpc.set_perms"
+  | Message.Append _ -> "rpc.append"
+  | Message.Force -> "rpc.force"
+  | Message.Open_cursor _ -> "rpc.open_cursor"
+  | Message.Next _ -> "rpc.next"
+  | Message.Prev _ -> "rpc.prev"
+  | Message.Close_cursor _ -> "rpc.close_cursor"
+  | Message.Entry_at_or_after _ -> "rpc.entry_at_or_after"
+  | Message.Entry_before _ -> "rpc.entry_before"
 
 let entry_of (e : Clio.Reader.entry) =
   {
@@ -16,7 +44,7 @@ let entry_of (e : Clio.Reader.entry) =
 let reply_result r f =
   match r with Ok v -> f v | Error e -> Message.R_error (Clio.Errors.to_string e)
 
-let run t (req : Message.request) : Message.response =
+let run_inner t (req : Message.request) : Message.response =
   match req with
   | Message.Create_log { path; perms } ->
     reply_result (Clio.Server.create_log ~perms t.srv path) (fun id -> Message.R_id id)
@@ -67,6 +95,16 @@ let run t (req : Message.request) : Message.response =
   | Message.Entry_before { log; ts } ->
     reply_result (Clio.Server.entry_before t.srv ~log ts) (fun e ->
         Message.R_entry (Option.map entry_of e))
+
+(* Every request gets an rpc span (the op's own span nests under it), a
+   latency sample and a request count; error replies are counted too. *)
+let run t (req : Message.request) : Message.response =
+  Obs.Metrics.incr t.c_requests;
+  let response =
+    Obs.time (Clio.Server.obs t.srv) t.h_rpc (request_name req) (fun () -> run_inner t req)
+  in
+  (match response with Message.R_error _ -> Obs.Metrics.incr t.c_errors | _ -> ());
+  response
 
 let handle t raw =
   let response =

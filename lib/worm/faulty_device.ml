@@ -1,4 +1,8 @@
-type fault = Corrupt_written of bytes | Bad_unwritten | Garbage_visible of bytes
+type fault =
+  | Corrupt_written of bytes
+  | Bad_unwritten
+  | Bad_unfixable
+  | Garbage_visible of bytes
 
 type t = {
   inner : Block_io.t;
@@ -22,6 +26,10 @@ let mark_bad t idx =
   Hashtbl.replace t.faults idx Bad_unwritten;
   t.injected <- t.injected + 1
 
+let mark_unfixable t idx =
+  Hashtbl.replace t.faults idx Bad_unfixable;
+  t.injected <- t.injected + 1
+
 let spray_garbage_after_frontier t ~count =
   match t.inner.Block_io.frontier () with
   | None -> ()
@@ -37,14 +45,17 @@ let faults_injected t = t.injected
 let read t idx : (bytes, Block_io.error) result =
   match Hashtbl.find_opt t.faults idx with
   | Some (Corrupt_written g) | Some (Garbage_visible g) -> Ok (Bytes.copy g)
-  | Some Bad_unwritten -> Ok (garbage t t.inner.Block_io.block_size)
+  | Some Bad_unwritten | Some Bad_unfixable -> Ok (garbage t t.inner.Block_io.block_size)
   | None -> t.inner.Block_io.read idx
 
 let append t data : (int, Block_io.error) result =
   (* The drive positions at its frontier; if the medium is damaged there the
      write fails and the server must invalidate the block and retry. *)
   match t.inner.Block_io.frontier () with
-  | Some f when Hashtbl.find_opt t.faults f = Some Bad_unwritten -> Error (Bad_block f)
+  | Some f
+    when Hashtbl.find_opt t.faults f = Some Bad_unwritten
+         || Hashtbl.find_opt t.faults f = Some Bad_unfixable ->
+    Error (Bad_block f)
   | _ -> (
     match t.inner.Block_io.append data with
     | Ok idx ->
@@ -56,8 +67,14 @@ let append t data : (int, Block_io.error) result =
     | Error _ as e -> e)
 
 let invalidate t idx =
-  Hashtbl.remove t.faults idx;
-  t.inner.Block_io.invalidate idx
+  match Hashtbl.find_opt t.faults idx with
+  | Some Bad_unfixable ->
+    (* The damage defeats even the invalidation write: the drive cannot
+       burn the all-ones pattern, so the frontier cannot move past it. *)
+    Error (Block_io.Bad_block idx)
+  | _ ->
+    Hashtbl.remove t.faults idx;
+    t.inner.Block_io.invalidate idx
 
 let io t : Block_io.t =
   {

@@ -24,6 +24,11 @@ val corrupt_block : t -> int -> unit
 val mark_bad : t -> int -> unit
 (** Damage an unwritten block: future appends there fail with [Bad_block]. *)
 
+val mark_unfixable : t -> int -> unit
+(** Like {!mark_bad}, but the block also rejects invalidation: the server
+    cannot move the frontier past it and must surface the device error
+    rather than retry forever. *)
+
 val spray_garbage_after_frontier : t -> count:int -> unit
 (** Make the [count] blocks after the current frontier read back as garbage
     (they remain appendable — the garbage is overwritten by a real append),

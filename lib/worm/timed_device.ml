@@ -6,28 +6,50 @@ type t = {
   mutable read_head : int;
   mutable write_head : int;
   mutable busy_us : int64;
+  h_read_us : Obs.Histogram.t option;
+  h_write_us : Obs.Histogram.t option;
 }
 
-let create ~clock ~model ?(separate_heads = true) inner =
-  { inner; clock; model; separate_heads; read_head = 0; write_head = 0; busy_us = 0L }
+let create ~clock ~model ?(separate_heads = true) ?metrics inner =
+  let h_read_us = Option.map (fun m -> Obs.Metrics.histogram m "dev_read_us") metrics in
+  let h_write_us = Option.map (fun m -> Obs.Metrics.histogram m "dev_write_us") metrics in
+  {
+    inner;
+    clock;
+    model;
+    separate_heads;
+    read_head = 0;
+    write_head = 0;
+    busy_us = 0L;
+    h_read_us;
+    h_write_us;
+  }
 
 let charge t us =
   t.busy_us <- Int64.add t.busy_us us;
   Sim.Clock.advance t.clock us
 
+let sample h us = match h with Some h -> Obs.Histogram.record h (Int64.to_int us) | None -> ()
+
 let charge_read t idx bytes =
   let dist = abs (idx - t.read_head) in
   t.read_head <- idx;
-  charge t (t.model.Sim.Seek_model.seek_us ~dist);
-  charge t (t.model.Sim.Seek_model.transfer_us ~bytes)
+  let us =
+    Int64.add (t.model.Sim.Seek_model.seek_us ~dist) (t.model.Sim.Seek_model.transfer_us ~bytes)
+  in
+  sample t.h_read_us us;
+  charge t us
 
 let charge_write t idx bytes =
   let from = if t.separate_heads then t.write_head else t.read_head in
   let dist = abs (idx - from) in
   t.write_head <- idx;
   if not t.separate_heads then t.read_head <- idx;
-  charge t (t.model.Sim.Seek_model.seek_us ~dist);
-  charge t (t.model.Sim.Seek_model.transfer_us ~bytes)
+  let us =
+    Int64.add (t.model.Sim.Seek_model.seek_us ~dist) (t.model.Sim.Seek_model.transfer_us ~bytes)
+  in
+  sample t.h_write_us us;
+  charge t us
 
 let read t idx =
   match t.inner.Block_io.read idx with

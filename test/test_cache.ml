@@ -101,6 +101,37 @@ let test_cache_masks_device_corruption () =
   Alcotest.(check bytes) "device truth after drop" (Bytes.make 64 'Z')
     (Result.get_ok (io.Worm.Block_io.read 0))
 
+let test_cache_hit_returns_copy () =
+  (* Regression: a cache hit used to alias the resident buffer, so a caller
+     mutating the returned bytes corrupted every later hit. *)
+  let _, c, io = mk_cached () in
+  ignore (io.Worm.Block_io.append (Bytes.make 64 'a'));
+  let b1 = Result.get_ok (io.Worm.Block_io.read 0) in
+  Bytes.fill b1 0 64 'X';
+  let b2 = Result.get_ok (io.Worm.Block_io.read 0) in
+  Alcotest.(check bytes) "hit unaffected by caller mutation" (Bytes.make 64 'a') b2;
+  (* The insert path must copy too: mutating the appended buffer afterwards
+     must not reach the cache. *)
+  let src = Bytes.make 64 'b' in
+  ignore (io.Worm.Block_io.append src);
+  Bytes.fill src 0 64 'Y';
+  Alcotest.(check bytes) "insert copied" (Bytes.make 64 'b')
+    (Result.get_ok (io.Worm.Block_io.read 1));
+  Alcotest.(check bool) "still cached" true (Blockcache.Cache.contains c 1)
+
+let test_cache_metrics_mirror () =
+  let d = Worm.Mem_device.create ~block_size:64 ~capacity:64 () in
+  let m = Obs.Metrics.create () in
+  let c = Blockcache.Cache.create ~capacity_blocks:4 ~metrics:m (Worm.Mem_device.io d) in
+  let io = Blockcache.Cache.io c in
+  ignore (io.Worm.Block_io.append (Bytes.make 64 'a'));
+  Blockcache.Cache.drop c;
+  ignore (io.Worm.Block_io.read 0);
+  ignore (io.Worm.Block_io.read 0);
+  let v name = List.assoc name (Obs.Metrics.counters m) in
+  Alcotest.(check int) "shared miss counter" 1 (v "cache_misses");
+  Alcotest.(check int) "shared hit counter" 1 (v "cache_hits")
+
 let test_cache_preload () =
   let _, c, io = mk_cached () in
   ignore (io.Worm.Block_io.append (Bytes.make 64 'a'));
@@ -127,6 +158,8 @@ let () =
           Alcotest.test_case "eviction" `Quick test_cache_eviction;
           Alcotest.test_case "invalidate evicts" `Quick test_cache_invalidate_evicts;
           Alcotest.test_case "masks device corruption" `Quick test_cache_masks_device_corruption;
+          Alcotest.test_case "hit returns a copy" `Quick test_cache_hit_returns_copy;
+          Alcotest.test_case "metrics mirror" `Quick test_cache_metrics_mirror;
           Alcotest.test_case "preload" `Quick test_cache_preload;
         ] );
     ]

@@ -90,6 +90,48 @@ let test_bad_blocks_logged () =
   Alcotest.(check bool) "block 5 recorded" true (List.mem 5 decoded);
   Alcotest.(check bool) "block 9 recorded" true (List.mem 9 decoded)
 
+let test_flush_retries_counted () =
+  (* A fixable bad block: flush invalidates it, retries once, succeeds, and
+     the retry is visible in the stats. *)
+  let block_size = 256 in
+  let base = Worm.Mem_device.create ~block_size ~capacity:64 () in
+  let faulty = Worm.Faulty_device.create (Worm.Mem_device.io base) in
+  Worm.Faulty_device.mark_bad faulty 1;
+  let alloc ~vol_index:_ = Ok (Worm.Faulty_device.io faulty) in
+  let clock = Sim.Clock.simulated () in
+  let config = { Clio.Config.default with block_size } in
+  let srv = ok (Clio.Server.create ~config ~clock ~alloc_volume:alloc ()) in
+  let log = ok (Clio.Server.create_log srv "/r") in
+  ignore (ok (Clio.Server.append srv ~log "payload"));
+  ignore (ok (Clio.Server.force srv));
+  let s = Clio.Server.stats srv in
+  Alcotest.(check int) "one retry" 1 s.Clio.Stats.flush_retries;
+  Alcotest.(check int) "one bad block" 1 s.Clio.Stats.bad_blocks;
+  Alcotest.(check (list string)) "data survives" [ "payload" ] (all_payloads srv ~log)
+
+let test_unfixable_bad_block_fails_flush () =
+  (* Regression: when invalidating the bad block also fails, the frontier
+     cannot advance. flush_tail used to swallow the invalidate error and
+     retry the same block forever; it must surface a device error instead. *)
+  let block_size = 256 in
+  let base = Worm.Mem_device.create ~block_size ~capacity:64 () in
+  let faulty = Worm.Faulty_device.create (Worm.Mem_device.io base) in
+  let alloc ~vol_index:_ = Ok (Worm.Faulty_device.io faulty) in
+  let clock = Sim.Clock.simulated () in
+  let config = { Clio.Config.default with block_size } in
+  let srv = ok (Clio.Server.create ~config ~clock ~alloc_volume:alloc ()) in
+  let log = ok (Clio.Server.create_log srv "/u") in
+  (* The catalog entry is durable on block 1; damage the next block beyond
+     repair before the data flush reaches it. *)
+  Worm.Faulty_device.mark_unfixable faulty 2;
+  ignore (ok (Clio.Server.append srv ~log "doomed"));
+  (match Clio.Server.force srv with
+  | Error (Clio.Errors.Device (Worm.Block_io.Bad_block 2)) -> ()
+  | Error e -> Alcotest.failf "wrong error: %s" (Clio.Errors.to_string e)
+  | Ok () -> Alcotest.fail "flush over an unfixable bad block must fail");
+  let s = Clio.Server.stats srv in
+  Alcotest.(check int) "exactly one attempt recorded" 1 s.Clio.Stats.flush_retries
+
 let test_displaced_entrymap_still_found () =
   (* Make the block where a level-1 entrymap entry belongs a bad block: the
      entry is displaced to a later block, and locate still works via the
@@ -156,6 +198,41 @@ let test_corruption_survives_recovery () =
   let got = all_payloads srv ~log in
   Alcotest.(check bool) "survivors readable after recovery" true (List.length got > 80)
 
+
+(* Regression: a corrupt block adjacent to the frontier gets quarantined
+   (invalidated) by recovery; the restored NVRAM tail begins with a
+   continuation fragment of an entry whose start was in the lost block.
+   Reassembly used to cross the invalidated gap and glue that foreign
+   fragment onto the previous entry's start fragment, fabricating a payload
+   that was never written. The fragment-chain checksum in version-3 headers
+   must reject the splice. *)
+let test_quarantine_does_not_splice_entries () =
+  let f = make_fixture ~block_size:256 ~capacity:2048 () in
+  let log = create_log f "/fz" in
+  let payload i =
+    Printf.sprintf "%06d:%s" i (String.make (20 + (i * 7 mod 160)) (Char.chr (97 + (i mod 26))))
+  in
+  let written = List.init 79 payload in
+  List.iter (fun p -> ignore (append f ~log p)) written;
+  (* Stage the open tail in NVRAM so it survives the crash... *)
+  ignore (ok (Clio.Server.force f.srv));
+  (* ...then corrupt the last block that reached the medium: its entries
+     (including the middle of any fragment chain into the tail) are lost. *)
+  let st = Clio.Server.state f.srv in
+  let frontier = Clio.Vol.device_frontier (ok (Clio.State.active st)) in
+  poke f ~vol:0 ~block:(frontier - 1) (Bytes.make 256 '\xC3');
+  let srv = crash_and_recover f in
+  let got = all_payloads srv ~log in
+  List.iter
+    (fun p ->
+      Alcotest.(check bool)
+        (Printf.sprintf "fabricated payload %S" p)
+        true (List.mem p written))
+    got;
+  (* The quarantined block must be accounted as bad, not silently healthy. *)
+  Alcotest.(check bool) "bad block counted" true
+    ((Clio.Server.stats srv).Clio.Stats.bad_blocks >= 1)
+
 let test_corrupt_volume_header_rejected () =
   let f = make_fixture () in
   ignore (create_log f "/x");
@@ -182,8 +259,12 @@ let () =
       ( "bad-blocks",
         [
           Alcotest.test_case "logged" `Quick test_bad_blocks_logged;
+          Alcotest.test_case "flush retries counted" `Quick test_flush_retries_counted;
+          Alcotest.test_case "unfixable fails flush" `Quick test_unfixable_bad_block_fails_flush;
           Alcotest.test_case "displaced entrymap" `Quick test_displaced_entrymap_still_found;
           Alcotest.test_case "corrupted entrymap fallback" `Quick test_corrupted_entrymap_falls_back;
           Alcotest.test_case "survives recovery" `Quick test_corruption_survives_recovery;
+          Alcotest.test_case "quarantine cannot splice" `Quick
+            test_quarantine_does_not_splice_entries;
         ] );
     ]

@@ -35,7 +35,10 @@ let test_continuation () =
   Alcotest.(check bool) "not a start" false (Clio.Header.is_start h);
   let h2 = roundtrip h in
   Alcotest.(check int) "id" 9 h2.Clio.Header.logfile;
-  Alcotest.(check bool) "still continuation" false (Clio.Header.is_start h2)
+  Alcotest.(check bool) "still continuation" false (Clio.Header.is_start h2);
+  Alcotest.(check int) "4 bytes" 4 (Clio.Header.byte_size h);
+  let tagged = Clio.Header.continuation ~chain:0xBEEF 9 in
+  Alcotest.(check int) "chain tag survives" 0xBEEF (roundtrip tagged).Clio.Header.chain
 
 let test_multi_member () =
   let h = Clio.Header.make ~timestamp:5L ~extra_members:[ 10; 11; 12 ] 9 in
@@ -82,6 +85,7 @@ let gen_header =
         map (fun i -> Clio.Header.make i) id;
         map2 (fun i t -> Clio.Header.make ~timestamp:t i) id ts;
         map (fun i -> Clio.Header.continuation i) id;
+        map2 (fun i c -> Clio.Header.continuation ~chain:c i) id (int_range 0 0xFFFF);
         map3
           (fun i t extras -> Clio.Header.make ~timestamp:t ~extra_members:extras i)
           id ts

@@ -58,6 +58,27 @@ let test_nvram_tail_survives () =
   ignore (ok (Clio.Server.append srv ~log "three"));
   check_payloads "continues" [ "one"; "two"; "three" ] (all_payloads srv ~log)
 
+let test_nvram_staged_image_carries_forced_flag () =
+  (* Regression: the NVRAM force path built the staged image without the
+     forced trailer flag, so a replayed image was indistinguishable from an
+     ordinary (crash-truncatable) block. The staged bytes must look exactly
+     like a forced flush would on the medium. *)
+  let f = make_fixture () in
+  let log = create_log f "/flag" in
+  ignore (append f ~log ~force:true "durability point");
+  (match f.nvram with
+  | None -> Alcotest.fail "fixture must have NVRAM"
+  | Some nv -> (
+    match Worm.Nvram.load nv with
+    | None -> Alcotest.fail "force must stage the tail in NVRAM"
+    | Some (_block, image) ->
+      Alcotest.(check bool) "forced flag set" true (Clio.Block_format.is_forced image)));
+  (* The flag is preserved across recovery-and-refill: when the restored
+     tail later reaches the medium it still parses. *)
+  let srv = crash_and_recover f in
+  let log = ok (Clio.Server.resolve srv "/flag") in
+  check_payloads "entry recovered" [ "durability point" ] (all_payloads srv ~log)
+
 let test_stale_nvram_ignored () =
   let f = make_fixture () in
   let log = create_log f "/stale" in
@@ -226,6 +247,8 @@ let () =
           Alcotest.test_case "entries + catalog" `Quick test_recover_preserves_entries_and_catalog;
           Alcotest.test_case "unforced tail lost" `Quick test_unforced_tail_lost_without_nvram;
           Alcotest.test_case "NVRAM tail survives" `Quick test_nvram_tail_survives;
+          Alcotest.test_case "NVRAM image forced flag" `Quick
+            test_nvram_staged_image_carries_forced_flag;
           Alcotest.test_case "stale NVRAM ignored" `Quick test_stale_nvram_ignored;
           Alcotest.test_case "double crash" `Quick test_double_crash;
           Alcotest.test_case "timestamps monotonic" `Quick test_timestamps_stay_monotonic_across_recovery;
