@@ -4,7 +4,7 @@
      dune exec bench/main.exe             run everything
      dune exec bench/main.exe -- table1   run one section
 
-   Section names: fig3 table1 write fig4 space coldread
+   Section names: fig3 table1 write rpc fig4 space coldread
                   ablate-n ablate-force ablate-locate ablate-fs ablate-sublog
                   ablations (all five) *)
 
@@ -13,6 +13,7 @@ let sections : (string * (unit -> unit)) list =
     ("fig3", Fig3.run);
     ("table1", Table1.run);
     ("write", Write_bench.run);
+    ("rpc", Rpc_bench.run);
     ("fig4", Fig4.run);
     ("space", Space.run);
     ("coldread", Coldread.run);

@@ -74,12 +74,12 @@ let modeled_ipc_writes () =
       Uio.Transport.local ~latency_us:ipc_us ~clock:f.Util.clock (Uio.Rpc_server.handle rpc)
     in
     let client = Uio.Client.connect transport in
-    let log = match Uio.Client.create_log client "/w" with Ok l -> l | Error e -> failwith e in
+    let log = Util.ok (Uio.Client.create_log client "/w") in
     let n = if Util.quick () then 200 else 2000 in
     let sim0 = Sim.Clock.peek f.Util.clock in
     let wall0 = Unix.gettimeofday () in
     for _ = 1 to n do
-      match Uio.Client.append client ~log payload with Ok _ -> () | Error e -> failwith e
+      ignore (Util.ok (Uio.Client.append client ~log payload))
     done;
     let wall_us = (Unix.gettimeofday () -. wall0) *. 1e6 /. float_of_int n in
     let sim_us =

@@ -151,10 +151,13 @@ let tail_cmd dir block_size capacity path n =
 
 let ls dir block_size capacity path =
   let srv = open_store ~dir ~block_size ~capacity in
-  let logs = ok_or_die (Clio.Server.list_logs srv path) in
+  (* The same directory view the RPC protocol serves: id, perms, number of
+     direct sublogs, full path. *)
+  let logs = ok_or_die (Uio.Message.dir_entries srv path) in
   List.iter
-    (fun d ->
-      Printf.printf "%4d  %04o  %s\n" d.Clio.Catalog.id d.Clio.Catalog.perms d.Clio.Catalog.name)
+    (fun (d : Uio.Message.dir_entry) ->
+      Printf.printf "%4d  %04o  %4d  %s\n" d.Uio.Message.id d.Uio.Message.perms
+        d.Uio.Message.entry_count d.Uio.Message.path)
     logs
 
 let stats dir block_size capacity =

@@ -10,6 +10,8 @@ type t =
   | Volume_offline of int
   | Sequence_full
   | No_entry
+  | Cursor_expired
+  | Remote of string
 
 let pp ppf = function
   | Device e -> Format.fprintf ppf "device: %a" Worm.Block_io.pp_error e
@@ -23,6 +25,8 @@ let pp ppf = function
   | Volume_offline v -> Format.fprintf ppf "volume %d is offline" v
   | Sequence_full -> Format.fprintf ppf "volume sequence exhausted"
   | No_entry -> Format.fprintf ppf "no matching entry"
+  | Cursor_expired -> Format.fprintf ppf "cursor expired (closed, evicted or stale token)"
+  | Remote msg -> Format.fprintf ppf "remote error: %s" msg
 
 let to_string e = Format.asprintf "%a" pp e
 

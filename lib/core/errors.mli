@@ -12,6 +12,12 @@ type t =
   | Volume_offline of int  (** entry lives on a volume that is not mounted *)
   | Sequence_full  (** no successor volume could be allocated *)
   | No_entry  (** search found nothing *)
+  | Cursor_expired
+      (** an RPC cursor or continuation token no longer names live server
+          state (closed, LRU-evicted, or superseded by a newer token) *)
+  | Remote of string
+      (** an error that crossed the wire without a typed encoding — the
+          v1 string form, or a code this build does not know *)
 
 val pp : Format.formatter -> t -> unit
 val to_string : t -> string

@@ -130,6 +130,45 @@ let append_path ?extra_members ?force st ~path payload =
   let* log = ensure_log st path in
   append ?extra_members ?force st ~log payload
 
+type batch_item = {
+  log : Ids.logfile;
+  extra_members : Ids.logfile list;
+  payload : string;
+}
+
+(* Group commit (wire protocol v2): validate every item up front so a bad
+   target rejects the whole batch with nothing staged, then stage all
+   entries back to back and force once at the end. Timestamps are assigned
+   in arrival order, so interleaved appends to different log files keep
+   their relative order. A device failure mid-batch aborts the remaining
+   items; already-staged entries survive, exactly as separate appends
+   interrupted at the same point would. *)
+let append_batch ?(force = false) st items =
+  let* () =
+    List.fold_left
+      (fun acc { log; extra_members; payload } ->
+        let* () = acc in
+        let* () = validate_append_target st ~log extra_members in
+        let header = Header.make ~extra_members log in
+        let* active = State.active st in
+        let max_payload0 =
+          Block_format.max_payload_in_empty_block
+            ~block_size:active.Vol.hdr.Volume.block_size ~header
+        in
+        if max_payload0 < 1 && String.length payload > 0 then
+          Error (Errors.Entry_too_large (String.length payload))
+        else Ok ())
+      (Ok ()) items
+  in
+  let* timestamps =
+    Writer.append_batch st
+      (List.map (fun { log; extra_members; payload } -> (log, extra_members, payload)) items)
+  in
+  st.State.stats.Stats.entries_appended <-
+    st.State.stats.Stats.entries_appended + List.length items;
+  let* () = if force then Writer.force st else Ok () in
+  Ok timestamps
+
 let force st = Writer.force st
 
 (* --------------------------------- reading ------------------------------ *)

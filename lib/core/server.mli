@@ -74,6 +74,25 @@ val append :
     semantics, section 2.3.1). [extra_members] adds the entry to additional
     log files beyond [log] and its ancestors. *)
 
+(** One entry of an {!append_batch} call. *)
+type batch_item = {
+  log : Ids.logfile;
+  extra_members : Ids.logfile list;
+  payload : string;
+}
+
+val append_batch :
+  ?force:bool -> t -> batch_item list -> (int64 option list, Errors.t) result
+(** Append many entries — possibly for different log files — in one call,
+    applied in arrival order with group-commit semantics: entries share the
+    staged tail block, and [force] issues a single durability point after
+    the whole batch (instead of one per entry). Every item is validated
+    before anything is staged, so a bad target rejects the batch atomically;
+    a device failure mid-batch leaves the already-staged prefix, exactly as
+    separate appends interrupted at that point would. Returns the assigned
+    timestamps, one per item, in order. The staged bytes are identical to
+    the same entries sent through {!append} one by one. *)
+
 val append_path :
   ?extra_members:Ids.logfile list ->
   ?force:bool ->

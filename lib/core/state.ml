@@ -9,6 +9,7 @@ type probes = {
   h_time_search : Obs.Histogram.t;
   h_recover : Obs.Histogram.t;
   h_entry_bytes : Obs.Histogram.t;
+  h_batch : Obs.Histogram.t;
 }
 
 type t = {
@@ -45,6 +46,7 @@ let make ~config ~clock ?nvram ~alloc_volume () =
       h_time_search = Obs.Metrics.histogram m "time_search_us";
       h_recover = Obs.Metrics.histogram m "recover_us";
       h_entry_bytes = Obs.Metrics.histogram m "entry_bytes";
+      h_batch = Obs.Metrics.histogram m "batch_entries";
     }
   in
   {

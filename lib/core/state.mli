@@ -12,6 +12,7 @@ type probes = {
   h_time_search : Obs.Histogram.t;
   h_recover : Obs.Histogram.t;
   h_entry_bytes : Obs.Histogram.t;
+  h_batch : Obs.Histogram.t;  (** entries per {!Server.append_batch} call *)
 }
 
 type t = {

@@ -21,6 +21,18 @@ val append_entry : State.t -> header:Header.t -> string -> (unit, Errors.t) resu
 (** Appends one logical entry to the active volume, fragmenting as needed.
     The header's timestamp (if any) must come from {!State.fresh_ts}. *)
 
+val append_batch :
+  State.t ->
+  (Ids.logfile * Ids.logfile list * string) list ->
+  (int64 option list, Errors.t) result
+(** [append_batch st [(log, extra_members, payload); ...]] stages every
+    entry of the batch, in arrival order, into the shared tail block under
+    one observability span, stamping each entry as it is staged (so the
+    on-media bytes match the same entries appended one by one). Returns the
+    assigned timestamps. Group commit: the caller forces at most once, after
+    the whole batch. Stops at the first staging error; entries staged before
+    the failure remain staged. *)
+
 val force : State.t -> (unit, Errors.t) result
 (** Make everything appended so far durable: NVRAM staging when configured,
     otherwise a padded synchronous block write. *)

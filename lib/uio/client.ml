@@ -1,18 +1,31 @@
-type t = { transport : Transport.t }
-type cursor = { client : t; id : int }
+type t = { transport : Transport.t; mutable version : int }
+type cursor = { client : t; id : int; mutable seq : int }
 
-let connect transport = { transport }
+let ( let* ) = Clio.Errors.( let* )
 
-let ( let* ) r f = match r with Ok v -> f v | Error _ as e -> e
+let protocol_error = Error (Clio.Errors.Remote "protocol error: unexpected response shape")
 
 let call t req =
   let raw = Transport.call t.transport (Message.encode_request req) in
   match Message.decode_response raw with
-  | Ok (Message.R_error msg) -> Error msg
+  | Ok (Message.R_error msg) -> Error (Clio.Errors.Remote msg)
+  | Ok (Message.R_error_t e) -> Error e
   | Ok r -> Ok r
-  | Error e -> Error (Clio.Errors.to_string e)
+  | Error e -> Error e
 
-let protocol_error = Error "protocol error: unexpected response shape"
+(* Version negotiation happens once, at connect: a v2-capable server
+   answers [R_version]; anything else (an old server rejecting the unknown
+   tag, a transport mangling the reply) demotes the session to v1, where
+   every operation is a single v1-tagged round trip. *)
+let connect ?(max_version = Message.protocol_version) transport =
+  let t = { transport; version = 1 } in
+  (if max_version >= 2 then
+     match call t (Message.Hello { version = max_version }) with
+     | Ok (Message.R_version v) -> t.version <- max 1 (min v max_version)
+     | Ok _ | Error _ -> t.version <- 1);
+  t
+
+let version t = t.version
 
 let expect_id t req =
   let* r = call t req in
@@ -35,8 +48,22 @@ let path_of t id =
   match r with Message.R_path p -> Ok p | _ -> protocol_error
 
 let list_logs t path =
-  let* r = call t (Message.List_logs path) in
-  match r with Message.R_names names -> Ok names | _ -> protocol_error
+  if t.version >= 2 then
+    let* r = call t (Message.List_dir path) in
+    match r with Message.R_dir ds -> Ok ds | _ -> protocol_error
+  else
+    (* v1 listing carries (id, name, perms) only: synthesize the path from
+       the parent, and report 0 sublogs (the legacy shape lacks counts). *)
+    let* r = call t (Message.List_logs path) in
+    match r with
+    | Message.R_names names ->
+      let base = if path = "/" then "" else path in
+      Ok
+        (List.map
+           (fun (id, name, perms) ->
+             { Message.id; path = base ^ "/" ^ name; perms; entry_count = 0 })
+           names)
+    | _ -> protocol_error
 
 let set_perms t ~log perms = expect_unit t (Message.Set_perms { log; perms })
 
@@ -46,25 +73,85 @@ let append ?(extra_members = []) ?(force = false) t ~log data =
 
 let force t = expect_unit t Message.Force
 
+let append_batch ?(force = false) t items =
+  if items = [] then Ok []
+  else if t.version >= 2 then
+    let* r = call t (Message.Append_batch { force; items }) in
+    match r with Message.R_timestamps ts -> Ok ts | _ -> protocol_error
+  else begin
+    (* v1 fallback: one round trip per entry, then a single force — the
+       group-commit durability contract holds either way. *)
+    let rec go acc = function
+      | [] ->
+        let* () = if force then expect_unit t Message.Force else Ok () in
+        Ok (List.rev acc)
+      | { Message.log; extra_members; data } :: rest ->
+        let* ts = append ~extra_members t ~log data in
+        go (ts :: acc) rest
+    in
+    go [] items
+  end
+
 let open_cursor t ~log whence =
   let* id = expect_id t (Message.Open_cursor { log; whence }) in
-  Ok { client = t; id }
+  Ok { client = t; id; seq = 0 }
 
 let next c = expect_entry c.client (Message.Next c.id)
 let prev c = expect_entry c.client (Message.Prev c.id)
 let close_cursor c = expect_unit c.client (Message.Close_cursor c.id)
 
+let default_chunk_entries = 128
+let default_chunk_bytes = 256 * 1024
+
+let chunk_of c ~max_entries ~max_bytes =
+  { Message.cursor = c.id; seq = c.seq; max_entries; max_bytes }
+
+let chunk_call c req =
+  let* r = call c.client req in
+  match r with
+  | Message.R_entries { entries; seq; eof } ->
+    c.seq <- seq;
+    Ok (entries, eof)
+  | _ -> protocol_error
+
+(* On a v1 session a chunk degrades to a single step: one entry per round
+   trip, [eof] only when the cursor runs off the end — so chunked loops
+   work (slowly) against v1 servers without a second code path. *)
+let next_chunk ?(max_entries = default_chunk_entries) ?(max_bytes = default_chunk_bytes) c =
+  if c.client.version >= 2 then
+    chunk_call c (Message.Next_chunk (chunk_of c ~max_entries ~max_bytes))
+  else
+    let* e = next c in
+    match e with None -> Ok ([], true) | Some e -> Ok ([ e ], false)
+
+let prev_chunk ?(max_entries = default_chunk_entries) ?(max_bytes = default_chunk_bytes) c =
+  if c.client.version >= 2 then
+    chunk_call c (Message.Prev_chunk (chunk_of c ~max_entries ~max_bytes))
+  else
+    let* e = prev c in
+    match e with None -> Ok ([], true) | Some e -> Ok ([ e ], false)
+
+let with_cursor t ~log whence f =
+  let* c = open_cursor t ~log whence in
+  match f c with
+  | Ok v ->
+    let* () = close_cursor c in
+    Ok v
+  | Error _ as e ->
+    (try ignore (close_cursor c) with _ -> ());
+    e
+  | exception exn ->
+    (try ignore (close_cursor c) with _ -> ());
+    raise exn
+
 let entry_at_or_after t ~log ts = expect_entry t (Message.Entry_at_or_after { log; ts })
 let entry_before t ~log ts = expect_entry t (Message.Entry_before { log; ts })
 
-let fold_entries t ~log ~init f =
-  let* c = open_cursor t ~log Message.From_start in
-  let rec go acc =
-    let* e = next c in
-    match e with
-    | Some e -> go (f acc e)
-    | None ->
-      let* () = close_cursor c in
-      Ok acc
-  in
-  go init
+let fold_entries ?chunk_entries ?chunk_bytes t ~log ~init f =
+  with_cursor t ~log Message.From_start (fun c ->
+      let rec go acc =
+        let* entries, eof = next_chunk ?max_entries:chunk_entries ?max_bytes:chunk_bytes c in
+        let acc = List.fold_left f acc entries in
+        if eof then Ok acc else go acc
+      in
+      go init)

@@ -1,22 +1,43 @@
 (** Typed client stubs over a {!Transport.t} — the application's view of a
     remote log server, mirroring the {!Clio.Server} surface. Clients never
     see server internals; everything crosses the wire, with the transport
-    charging the modeled IPC cost of section 3.2. *)
+    charging the modeled IPC cost of section 3.2.
+
+    {!connect} negotiates wire protocol v2 (one [Hello] round trip) and
+    then amortizes IPC with {!append_batch} (many entries, one request,
+    group commit) and chunked cursor reads ({!next_chunk}/{!prev_chunk},
+    which {!fold_entries} uses as read-ahead). Against a v1-only server —
+    or with [~max_version:1] — every operation transparently falls back to
+    one v1 round trip. All results carry typed {!Clio.Errors.t}; errors a
+    v1 server sends as strings surface as [Errors.Remote]. *)
 
 type t
 
-val connect : Transport.t -> t
+val connect : ?max_version:int -> Transport.t -> t
+(** Connect and negotiate. [max_version] (default {!Message.protocol_version})
+    caps what the client offers; [~max_version:1] skips negotiation and
+    forces the v1 one-round-trip-per-operation protocol. *)
 
-(** A remote cursor: closes explicitly (or leaks on the server, as in the
-    paper's era). *)
+val version : t -> int
+(** The negotiated protocol version (1 or 2). *)
+
+(** A remote cursor: server-side state reached by id, carrying the current
+    continuation token for chunked reads. Close explicitly, or use
+    {!with_cursor}; an unclosed cursor is eventually LRU-evicted by the
+    server and its id answers [Errors.Cursor_expired]. *)
 type cursor
 
-val create_log : ?perms:int -> t -> string -> (Clio.Ids.logfile, string) result
-val ensure_log : ?perms:int -> t -> string -> (Clio.Ids.logfile, string) result
-val resolve : t -> string -> (Clio.Ids.logfile, string) result
-val path_of : t -> Clio.Ids.logfile -> (string, string) result
-val list_logs : t -> string -> ((int * string * int) list, string) result
-val set_perms : t -> log:Clio.Ids.logfile -> int -> (unit, string) result
+val create_log : ?perms:int -> t -> string -> (Clio.Ids.logfile, Clio.Errors.t) result
+val ensure_log : ?perms:int -> t -> string -> (Clio.Ids.logfile, Clio.Errors.t) result
+val resolve : t -> string -> (Clio.Ids.logfile, Clio.Errors.t) result
+val path_of : t -> Clio.Ids.logfile -> (string, Clio.Errors.t) result
+
+val list_logs : t -> string -> (Message.dir_entry list, Clio.Errors.t) result
+(** Children of a log file as {!Message.dir_entry} rows (id, full path,
+    perms, sublog count). On a v1 session the legacy listing lacks counts:
+    [entry_count] is 0 and the path is synthesized client-side. *)
+
+val set_perms : t -> log:Clio.Ids.logfile -> int -> (unit, Clio.Errors.t) result
 
 val append :
   ?extra_members:Clio.Ids.logfile list ->
@@ -24,20 +45,70 @@ val append :
   t ->
   log:Clio.Ids.logfile ->
   string ->
-  (int64 option, string) result
+  (int64 option, Clio.Errors.t) result
 
-val force : t -> (unit, string) result
+val append_batch :
+  ?force:bool -> t -> Message.batch_item list -> (int64 option list, Clio.Errors.t) result
+(** Send many entries — possibly for different log files — in one request,
+    applied in arrival order; [force] commits the whole batch with a single
+    durability point at batch end (group commit: N appends share one block
+    flush instead of N). Returns one timestamp per item, in order. Falls
+    back to per-entry round trips (plus one final force) on a v1 session. *)
 
-val open_cursor : t -> log:Clio.Ids.logfile -> Message.whence -> (cursor, string) result
-val next : cursor -> (Message.entry option, string) result
-val prev : cursor -> (Message.entry option, string) result
-val close_cursor : cursor -> (unit, string) result
+val force : t -> (unit, Clio.Errors.t) result
+
+val open_cursor :
+  t -> log:Clio.Ids.logfile -> Message.whence -> (cursor, Clio.Errors.t) result
+
+val with_cursor :
+  t ->
+  log:Clio.Ids.logfile ->
+  Message.whence ->
+  (cursor -> ('a, Clio.Errors.t) result) ->
+  ('a, Clio.Errors.t) result
+(** Bracket: opens a cursor, runs the body, and guarantees [close_cursor] —
+    on normal return, on [Error], and on exception. *)
+
+val next : cursor -> (Message.entry option, Clio.Errors.t) result
+val prev : cursor -> (Message.entry option, Clio.Errors.t) result
+val close_cursor : cursor -> (unit, Clio.Errors.t) result
+
+val default_chunk_entries : int
+(** 128. *)
+
+val default_chunk_bytes : int
+(** 256 KiB. *)
+
+val next_chunk :
+  ?max_entries:int ->
+  ?max_bytes:int ->
+  cursor ->
+  (Message.entry list * bool, Clio.Errors.t) result
+(** One budgeted read: up to [max_entries] entries and roughly [max_bytes]
+    payload bytes in a single round trip. The [bool] is end-of-log; until
+    it is true, call again to continue (the continuation token advances
+    inside the cursor). On a v1 session degrades to one entry per call. *)
+
+val prev_chunk :
+  ?max_entries:int ->
+  ?max_bytes:int ->
+  cursor ->
+  (Message.entry list * bool, Clio.Errors.t) result
 
 val entry_at_or_after :
-  t -> log:Clio.Ids.logfile -> int64 -> (Message.entry option, string) result
+  t -> log:Clio.Ids.logfile -> int64 -> (Message.entry option, Clio.Errors.t) result
 
-val entry_before : t -> log:Clio.Ids.logfile -> int64 -> (Message.entry option, string) result
+val entry_before :
+  t -> log:Clio.Ids.logfile -> int64 -> (Message.entry option, Clio.Errors.t) result
 
 val fold_entries :
-  t -> log:Clio.Ids.logfile -> init:'a -> ('a -> Message.entry -> 'a) -> ('a, string) result
-(** Convenience forward fold (one RPC per entry — the V-era cost model). *)
+  ?chunk_entries:int ->
+  ?chunk_bytes:int ->
+  t ->
+  log:Clio.Ids.logfile ->
+  init:'a ->
+  ('a -> Message.entry -> 'a) ->
+  ('a, Clio.Errors.t) result
+(** Forward fold streaming through chunked reads: ceil(n / chunk) round
+    trips for n entries instead of the V-era one RPC per entry, with the
+    cursor bracketed by {!with_cursor}. *)

@@ -1,5 +1,27 @@
 type whence = From_start | From_end | From_time of int64
 
+(* Wire protocol versions. v1 is the original one-operation-per-round-trip
+   protocol (request tags 1-14, response tags 1-8); v2 adds batched appends,
+   chunked cursor reads, directory entries and typed errors (request tags
+   15-19, response tags 9-13). A v2 server answers v1 requests with v1
+   response shapes, so a v1 client interoperates unchanged. *)
+let protocol_version = 2
+
+type batch_item = {
+  log : Clio.Ids.logfile;
+  extra_members : Clio.Ids.logfile list;
+  data : string;
+}
+
+type chunk = { cursor : int; seq : int; max_entries : int; max_bytes : int }
+
+type dir_entry = {
+  id : Clio.Ids.logfile;
+  path : string;
+  perms : int;
+  entry_count : int;
+}
+
 type request =
   | Create_log of { path : string; perms : int }
   | Ensure_log of { path : string; perms : int }
@@ -20,6 +42,12 @@ type request =
   | Close_cursor of int
   | Entry_at_or_after of { log : Clio.Ids.logfile; ts : int64 }
   | Entry_before of { log : Clio.Ids.logfile; ts : int64 }
+  (* ------------------------------- v2 ------------------------------- *)
+  | Hello of { version : int }
+  | Append_batch of { force : bool; items : batch_item list }
+  | Next_chunk of chunk
+  | Prev_chunk of chunk
+  | List_dir of string
 
 type entry = {
   log : Clio.Ids.logfile;
@@ -35,6 +63,16 @@ type response =
   | R_timestamp of int64 option
   | R_entry of entry option
   | R_error of string
+  (* ------------------------------- v2 ------------------------------- *)
+  | R_version of int
+  | R_timestamps of int64 option list
+  | R_entries of { entries : entry list; seq : int; eof : bool }
+  | R_error_t of Clio.Errors.t
+  | R_dir of dir_entry list
+
+let is_v2_request = function
+  | Hello _ | Append_batch _ | Next_chunk _ | Prev_chunk _ | List_dir _ -> true
+  | _ -> false
 
 let ( let* ) = Clio.Errors.( let* )
 
@@ -61,6 +99,100 @@ let get_ts_opt dec =
   else
     let* ts = D.i64 dec in
     Ok (Some ts)
+
+let rec get_list dec n get acc =
+  if n = 0 then Ok (List.rev acc)
+  else
+    let* x = get dec in
+    get_list dec (n - 1) get (x :: acc)
+
+(* ------------------------------ errors ------------------------------ *)
+
+(* Typed errors cross the wire with a fixed layout — code byte, subcode
+   byte, one u32 integer argument, one length-prefixed detail string — so a
+   decoder that does not know a code can still read the record and fall
+   back to [Errors.Remote detail] (the string escape hatch). *)
+
+let encode_error enc (e : Clio.Errors.t) =
+  let put ?(sub = 0) ?(int_arg = 0) ?(detail = "") code =
+    E.u8 enc code;
+    E.u8 enc sub;
+    E.u32 enc int_arg;
+    put_string enc detail
+  in
+  match e with
+  | Clio.Errors.Corrupt_block b -> put 1 ~int_arg:b
+  | Clio.Errors.Bad_record s -> put 2 ~detail:s
+  | Clio.Errors.No_such_log s -> put 3 ~detail:s
+  | Clio.Errors.Log_exists s -> put 4 ~detail:s
+  | Clio.Errors.Invalid_name s -> put 5 ~detail:s
+  | Clio.Errors.Catalog_full -> put 6
+  | Clio.Errors.Entry_too_large n -> put 7 ~int_arg:n
+  | Clio.Errors.Volume_offline v -> put 8 ~int_arg:v
+  | Clio.Errors.Sequence_full -> put 9
+  | Clio.Errors.No_entry -> put 10
+  | Clio.Errors.Cursor_expired -> put 11
+  | Clio.Errors.Remote s -> put 12 ~detail:s
+  | Clio.Errors.Device d -> (
+    match d with
+    | Worm.Block_io.Out_of_space -> put 13 ~sub:1
+    | Worm.Block_io.Write_once_violation -> put 13 ~sub:2
+    | Worm.Block_io.Unwritten b -> put 13 ~sub:3 ~int_arg:b
+    | Worm.Block_io.Bad_block b -> put 13 ~sub:4 ~int_arg:b
+    | Worm.Block_io.Out_of_range b -> put 13 ~sub:5 ~int_arg:b
+    | Worm.Block_io.Wrong_size n -> put 13 ~sub:6 ~int_arg:n
+    | Worm.Block_io.Io_error s -> put 13 ~sub:7 ~detail:s)
+
+let decode_error dec : (Clio.Errors.t, Clio.Errors.t) result =
+  let* code = D.u8 dec in
+  let* sub = D.u8 dec in
+  let* int_arg = D.u32 dec in
+  let* detail = get_string dec in
+  let unknown () =
+    Clio.Errors.Remote
+      (if detail <> "" then detail
+       else Printf.sprintf "unknown remote error code %d/%d" code sub)
+  in
+  Ok
+    (match code with
+    | 1 -> Clio.Errors.Corrupt_block int_arg
+    | 2 -> Clio.Errors.Bad_record detail
+    | 3 -> Clio.Errors.No_such_log detail
+    | 4 -> Clio.Errors.Log_exists detail
+    | 5 -> Clio.Errors.Invalid_name detail
+    | 6 -> Clio.Errors.Catalog_full
+    | 7 -> Clio.Errors.Entry_too_large int_arg
+    | 8 -> Clio.Errors.Volume_offline int_arg
+    | 9 -> Clio.Errors.Sequence_full
+    | 10 -> Clio.Errors.No_entry
+    | 11 -> Clio.Errors.Cursor_expired
+    | 12 -> Clio.Errors.Remote detail
+    | 13 -> (
+      match sub with
+      | 1 -> Clio.Errors.Device Worm.Block_io.Out_of_space
+      | 2 -> Clio.Errors.Device Worm.Block_io.Write_once_violation
+      | 3 -> Clio.Errors.Device (Worm.Block_io.Unwritten int_arg)
+      | 4 -> Clio.Errors.Device (Worm.Block_io.Bad_block int_arg)
+      | 5 -> Clio.Errors.Device (Worm.Block_io.Out_of_range int_arg)
+      | 6 -> Clio.Errors.Device (Worm.Block_io.Wrong_size int_arg)
+      | 7 -> Clio.Errors.Device (Worm.Block_io.Io_error detail)
+      | _ -> unknown ())
+    | _ -> unknown ())
+
+(* ----------------------------- requests ----------------------------- *)
+
+let put_chunk enc { cursor; seq; max_entries; max_bytes } =
+  E.u32 enc cursor;
+  E.u32 enc seq;
+  E.u16 enc max_entries;
+  E.u32 enc max_bytes
+
+let get_chunk dec =
+  let* cursor = D.u32 dec in
+  let* seq = D.u32 dec in
+  let* max_entries = D.u16 dec in
+  let* max_bytes = D.u32 dec in
+  Ok { cursor; seq; max_entries; max_bytes }
 
 let encode_request r =
   let enc = E.create () in
@@ -119,7 +251,30 @@ let encode_request r =
   | Entry_before { log; ts } ->
     E.u8 enc 14;
     E.u16 enc log;
-    E.i64 enc ts);
+    E.i64 enc ts
+  | Hello { version } ->
+    E.u8 enc 15;
+    E.u16 enc version
+  | Append_batch { force; items } ->
+    E.u8 enc 16;
+    E.u8 enc (if force then 1 else 0);
+    E.u16 enc (List.length items);
+    List.iter
+      (fun { log; extra_members; data } ->
+        E.u16 enc log;
+        E.u8 enc (List.length extra_members);
+        List.iter (fun id -> E.u16 enc id) extra_members;
+        put_string enc data)
+      items
+  | Next_chunk c ->
+    E.u8 enc 17;
+    put_chunk enc c
+  | Prev_chunk c ->
+    E.u8 enc 18;
+    put_chunk enc c
+  | List_dir path ->
+    E.u8 enc 19;
+    put_string enc path);
   E.contents enc
 
 let decode_request s =
@@ -147,13 +302,7 @@ let decode_request s =
     let* log = D.u16 dec in
     let* force = D.u8 dec in
     let* n = D.u8 dec in
-    let rec ids i acc =
-      if i >= n then Ok (List.rev acc)
-      else
-        let* id = D.u16 dec in
-        ids (i + 1) (id :: acc)
-    in
-    let* extra_members = ids 0 [] in
+    let* extra_members = get_list dec n D.u16 [] in
     let* data = get_string dec in
     Ok (Append { log; extra_members; force = force = 1; data })
   | 8 -> Ok Force
@@ -177,7 +326,41 @@ let decode_request s =
     let* log = D.u16 dec in
     let* ts = D.i64 dec in
     Ok (if tag = 13 then Entry_at_or_after { log; ts } else Entry_before { log; ts })
+  | 15 ->
+    let* version = D.u16 dec in
+    Ok (Hello { version })
+  | 16 ->
+    let* force = D.u8 dec in
+    let* n = D.u16 dec in
+    let get_item dec =
+      let* log = D.u16 dec in
+      let* n_extra = D.u8 dec in
+      let* extra_members = get_list dec n_extra D.u16 [] in
+      let* data = get_string dec in
+      Ok { log; extra_members; data }
+    in
+    let* items = get_list dec n get_item [] in
+    Ok (Append_batch { force = force = 1; items })
+  | 17 | 18 ->
+    let* c = get_chunk dec in
+    Ok (if tag = 17 then Next_chunk c else Prev_chunk c)
+  | 19 ->
+    let* path = get_string dec in
+    Ok (List_dir path)
   | t -> Error (Clio.Errors.Bad_record (Printf.sprintf "unknown request tag %d" t))
+
+(* ----------------------------- responses ----------------------------- *)
+
+let put_entry enc (e : entry) =
+  E.u16 enc e.log;
+  put_ts_opt enc e.timestamp;
+  put_string enc e.payload
+
+let get_entry dec =
+  let* log = D.u16 dec in
+  let* timestamp = get_ts_opt dec in
+  let* payload = get_string dec in
+  Ok { log; timestamp; payload }
 
 let encode_response r =
   let enc = E.create () in
@@ -204,12 +387,36 @@ let encode_response r =
   | R_entry None -> E.u8 enc 6
   | R_entry (Some e) ->
     E.u8 enc 7;
-    E.u16 enc e.log;
-    put_ts_opt enc e.timestamp;
-    put_string enc e.payload
+    put_entry enc e
   | R_error msg ->
     E.u8 enc 8;
-    put_string enc msg);
+    put_string enc msg
+  | R_version v ->
+    E.u8 enc 9;
+    E.u16 enc v
+  | R_timestamps ts ->
+    E.u8 enc 10;
+    E.u16 enc (List.length ts);
+    List.iter (put_ts_opt enc) ts
+  | R_entries { entries; seq; eof } ->
+    E.u8 enc 11;
+    E.u32 enc seq;
+    E.u8 enc (if eof then 1 else 0);
+    E.u16 enc (List.length entries);
+    List.iter (put_entry enc) entries
+  | R_error_t e ->
+    E.u8 enc 12;
+    encode_error enc e
+  | R_dir entries ->
+    E.u8 enc 13;
+    E.u16 enc (List.length entries);
+    List.iter
+      (fun { id; path; perms; entry_count } ->
+        E.u16 enc id;
+        E.u16 enc perms;
+        E.u32 enc entry_count;
+        put_string enc path)
+      entries);
   E.contents enc
 
 let decode_response s =
@@ -225,25 +432,68 @@ let decode_response s =
     Ok (R_path p)
   | 4 ->
     let* n = D.u16 dec in
-    let rec names i acc =
-      if i >= n then Ok (R_names (List.rev acc))
-      else
-        let* id = D.u16 dec in
-        let* perms = D.u16 dec in
-        let* name = get_string dec in
-        names (i + 1) ((id, name, perms) :: acc)
+    let get_name dec =
+      let* id = D.u16 dec in
+      let* perms = D.u16 dec in
+      let* name = get_string dec in
+      Ok (id, name, perms)
     in
-    names 0 []
+    let* names = get_list dec n get_name [] in
+    Ok (R_names names)
   | 5 ->
     let* ts = get_ts_opt dec in
     Ok (R_timestamp ts)
   | 6 -> Ok (R_entry None)
   | 7 ->
-    let* log = D.u16 dec in
-    let* timestamp = get_ts_opt dec in
-    let* payload = get_string dec in
-    Ok (R_entry (Some { log; timestamp; payload }))
+    let* e = get_entry dec in
+    Ok (R_entry (Some e))
   | 8 ->
     let* msg = get_string dec in
     Ok (R_error msg)
+  | 9 ->
+    let* v = D.u16 dec in
+    Ok (R_version v)
+  | 10 ->
+    let* n = D.u16 dec in
+    let* ts = get_list dec n get_ts_opt [] in
+    Ok (R_timestamps ts)
+  | 11 ->
+    let* seq = D.u32 dec in
+    let* eof = D.u8 dec in
+    let* n = D.u16 dec in
+    let* entries = get_list dec n get_entry [] in
+    Ok (R_entries { entries; seq; eof = eof = 1 })
+  | 12 ->
+    let* e = decode_error dec in
+    Ok (R_error_t e)
+  | 13 ->
+    let* n = D.u16 dec in
+    let get_dir dec =
+      let* id = D.u16 dec in
+      let* perms = D.u16 dec in
+      let* entry_count = D.u32 dec in
+      let* path = get_string dec in
+      Ok { id; path; perms; entry_count }
+    in
+    let* entries = get_list dec n get_dir [] in
+    Ok (R_dir entries)
   | t -> Error (Clio.Errors.Bad_record (Printf.sprintf "unknown response tag %d" t))
+
+(* --------------------------- directory view --------------------------- *)
+
+(* The one materialization of a directory listing, shared by the RPC
+   dispatcher and the CLI so both render the same fields. [entry_count] is
+   the number of direct sublogs (directory entries) of each child. *)
+let dir_entries srv path =
+  let* ds = Clio.Server.list_logs srv path in
+  Ok
+    (List.map
+       (fun (d : Clio.Catalog.descriptor) ->
+         let child_path = Clio.Server.path_of srv d.Clio.Catalog.id in
+         let entry_count =
+           match Clio.Server.list_logs srv child_path with
+           | Ok children -> List.length children
+           | Error _ -> 0
+         in
+         { id = d.Clio.Catalog.id; path = child_path; perms = d.Clio.Catalog.perms; entry_count })
+       ds)

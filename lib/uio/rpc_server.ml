@@ -1,21 +1,32 @@
+(* One [t] per connection: the cursor table, the negotiated protocol
+   version and the continuation sequence numbers are all peer state. *)
+
+type slot = { cur : Clio.Reader.cursor; mutable seq : int }
+
 type t = {
   srv : Clio.Server.t;
-  cursors : (int, Clio.Reader.cursor) Hashtbl.t;
+  cursors : slot Blockcache.Lru.t;
   mutable next_cursor : int;
+  mutable peer_version : int;
   h_rpc : Obs.Histogram.t;
   c_requests : Obs.Metrics.counter;
   c_errors : Obs.Metrics.counter;
+  c_evicted : Obs.Metrics.counter;
 }
 
-let create srv =
+let default_max_cursors = 64
+
+let create ?(max_cursors = default_max_cursors) srv =
   let m = Clio.Server.metrics srv in
   {
     srv;
-    cursors = Hashtbl.create 16;
+    cursors = Blockcache.Lru.create ~capacity:(max 1 max_cursors);
     next_cursor = 1;
+    peer_version = 1;
     h_rpc = Obs.Metrics.histogram m "rpc_us";
     c_requests = Obs.Metrics.counter m "rpc_requests";
     c_errors = Obs.Metrics.counter m "rpc_errors";
+    c_evicted = Obs.Metrics.counter m "rpc_cursors_evicted";
   }
 
 let request_name : Message.request -> string = function
@@ -33,6 +44,11 @@ let request_name : Message.request -> string = function
   | Message.Close_cursor _ -> "rpc.close_cursor"
   | Message.Entry_at_or_after _ -> "rpc.entry_at_or_after"
   | Message.Entry_before _ -> "rpc.entry_before"
+  | Message.Hello _ -> "rpc.hello"
+  | Message.Append_batch _ -> "rpc.append_batch"
+  | Message.Next_chunk _ -> "rpc.next_chunk"
+  | Message.Prev_chunk _ -> "rpc.prev_chunk"
+  | Message.List_dir _ -> "rpc.list_dir"
 
 let entry_of (e : Clio.Reader.entry) =
   {
@@ -41,29 +57,79 @@ let entry_of (e : Clio.Reader.entry) =
     payload = e.Clio.Reader.payload;
   }
 
-let reply_result r f =
-  match r with Ok v -> f v | Error e -> Message.R_error (Clio.Errors.to_string e)
+(* Error replies follow the negotiated version: typed [R_error_t] once the
+   peer said Hello with version >= 2, the v1 string form otherwise. *)
+let error_reply t e =
+  if t.peer_version >= 2 then Message.R_error_t e
+  else Message.R_error (Clio.Errors.to_string e)
+
+let reply t r f = match r with Ok v -> f v | Error e -> error_reply t e
+
+let register_cursor t cur =
+  let id = t.next_cursor in
+  t.next_cursor <- id + 1;
+  (match Blockcache.Lru.add t.cursors id { cur; seq = 0 } with
+  | Some _evicted -> Obs.Metrics.incr t.c_evicted
+  | None -> ());
+  Message.R_id id
+
+(* A continuation token is (cursor id, seq): the id fails once the cursor
+   is closed or LRU-evicted, the seq fails once a newer chunk superseded
+   it, so stale and replayed tokens surface as [Cursor_expired] instead of
+   silently re-reading. *)
+let find_slot t (c : Message.chunk) =
+  match Blockcache.Lru.find t.cursors c.Message.cursor with
+  | None -> Error Clio.Errors.Cursor_expired
+  | Some slot ->
+    if slot.seq <> c.Message.seq then Error Clio.Errors.Cursor_expired else Ok slot
+
+(* Pull entries until the budget is spent: at most [max_entries], stopping
+   early once the accumulated payload bytes reach [max_bytes] (always
+   returning at least one entry when one is available). [eof] is only set
+   when the cursor actually ran off the end, so a caller can keep asking
+   until then. *)
+let read_chunk step slot (c : Message.chunk) =
+  let max_entries = max 1 c.Message.max_entries in
+  let max_bytes = max 1 c.Message.max_bytes in
+  let rec go n bytes acc =
+    if n >= max_entries || (n > 0 && bytes >= max_bytes) then Ok (List.rev acc, false)
+    else
+      match step slot.cur with
+      | Error e -> if acc = [] then Error e else Ok (List.rev acc, false)
+      | Ok None -> Ok (List.rev acc, true)
+      | Ok (Some e) ->
+        go (n + 1) (bytes + String.length e.Clio.Reader.payload) (entry_of e :: acc)
+  in
+  go 0 0 []
+
+let chunk_reply t step (c : Message.chunk) =
+  match find_slot t c with
+  | Error e -> error_reply t e
+  | Ok slot ->
+    reply t (read_chunk step slot c) (fun (entries, eof) ->
+        slot.seq <- slot.seq + 1;
+        Message.R_entries { entries; seq = slot.seq; eof })
 
 let run_inner t (req : Message.request) : Message.response =
   match req with
   | Message.Create_log { path; perms } ->
-    reply_result (Clio.Server.create_log ~perms t.srv path) (fun id -> Message.R_id id)
+    reply t (Clio.Server.create_log ~perms t.srv path) (fun id -> Message.R_id id)
   | Message.Ensure_log { path; perms } ->
-    reply_result (Clio.Server.ensure_log ~perms t.srv path) (fun id -> Message.R_id id)
+    reply t (Clio.Server.ensure_log ~perms t.srv path) (fun id -> Message.R_id id)
   | Message.Resolve path ->
-    reply_result (Clio.Server.resolve t.srv path) (fun id -> Message.R_id id)
+    reply t (Clio.Server.resolve t.srv path) (fun id -> Message.R_id id)
   | Message.Path_of id -> Message.R_path (Clio.Server.path_of t.srv id)
   | Message.List_logs path ->
-    reply_result (Clio.Server.list_logs t.srv path) (fun ds ->
+    reply t (Clio.Server.list_logs t.srv path) (fun ds ->
         Message.R_names
           (List.map (fun d -> (d.Clio.Catalog.id, d.Clio.Catalog.name, d.Clio.Catalog.perms)) ds))
   | Message.Set_perms { log; perms } ->
-    reply_result (Clio.Server.set_perms t.srv ~log perms) (fun () -> Message.R_unit)
+    reply t (Clio.Server.set_perms t.srv ~log perms) (fun () -> Message.R_unit)
   | Message.Append { log; extra_members; force; data } ->
-    reply_result
+    reply t
       (Clio.Server.append ~extra_members ~force t.srv ~log data)
       (fun ts -> Message.R_timestamp ts)
-  | Message.Force -> reply_result (Clio.Server.force t.srv) (fun () -> Message.R_unit)
+  | Message.Force -> reply t (Clio.Server.force t.srv) (fun () -> Message.R_unit)
   | Message.Open_cursor { log; whence } ->
     let cursor =
       match whence with
@@ -71,30 +137,41 @@ let run_inner t (req : Message.request) : Message.response =
       | Message.From_end -> Clio.Server.cursor_end t.srv ~log
       | Message.From_time ts -> Clio.Server.cursor_at_time t.srv ~log ts
     in
-    reply_result cursor (fun c ->
-        let id = t.next_cursor in
-        t.next_cursor <- id + 1;
-        Hashtbl.replace t.cursors id c;
-        Message.R_id id)
+    reply t cursor (register_cursor t)
   | Message.Next cid -> (
-    match Hashtbl.find_opt t.cursors cid with
-    | None -> Message.R_error "no such cursor"
-    | Some c ->
-      reply_result (Clio.Server.next c) (fun e -> Message.R_entry (Option.map entry_of e)))
+    match Blockcache.Lru.find t.cursors cid with
+    | None -> error_reply t Clio.Errors.Cursor_expired
+    | Some slot ->
+      reply t (Clio.Server.next slot.cur) (fun e -> Message.R_entry (Option.map entry_of e)))
   | Message.Prev cid -> (
-    match Hashtbl.find_opt t.cursors cid with
-    | None -> Message.R_error "no such cursor"
-    | Some c ->
-      reply_result (Clio.Server.prev c) (fun e -> Message.R_entry (Option.map entry_of e)))
+    match Blockcache.Lru.find t.cursors cid with
+    | None -> error_reply t Clio.Errors.Cursor_expired
+    | Some slot ->
+      reply t (Clio.Server.prev slot.cur) (fun e -> Message.R_entry (Option.map entry_of e)))
   | Message.Close_cursor cid ->
-    Hashtbl.remove t.cursors cid;
+    Blockcache.Lru.remove t.cursors cid;
     Message.R_unit
   | Message.Entry_at_or_after { log; ts } ->
-    reply_result (Clio.Server.entry_at_or_after t.srv ~log ts) (fun e ->
+    reply t (Clio.Server.entry_at_or_after t.srv ~log ts) (fun e ->
         Message.R_entry (Option.map entry_of e))
   | Message.Entry_before { log; ts } ->
-    reply_result (Clio.Server.entry_before t.srv ~log ts) (fun e ->
+    reply t (Clio.Server.entry_before t.srv ~log ts) (fun e ->
         Message.R_entry (Option.map entry_of e))
+  | Message.Hello { version } ->
+    t.peer_version <- max 1 (min version Message.protocol_version);
+    Message.R_version t.peer_version
+  | Message.Append_batch { force; items } ->
+    let items =
+      List.map
+        (fun { Message.log; extra_members; data } ->
+          { Clio.Server.log; extra_members; payload = data })
+        items
+    in
+    reply t (Clio.Server.append_batch ~force t.srv items) (fun ts -> Message.R_timestamps ts)
+  | Message.Next_chunk c -> chunk_reply t Clio.Server.next c
+  | Message.Prev_chunk c -> chunk_reply t Clio.Server.prev c
+  | Message.List_dir path ->
+    reply t (Message.dir_entries t.srv path) (fun ds -> Message.R_dir ds)
 
 (* Every request gets an rpc span (the op's own span nests under it), a
    latency sample and a request count; error replies are counted too. *)
@@ -103,15 +180,20 @@ let run t (req : Message.request) : Message.response =
   let response =
     Obs.time (Clio.Server.obs t.srv) t.h_rpc (request_name req) (fun () -> run_inner t req)
   in
-  (match response with Message.R_error _ -> Obs.Metrics.incr t.c_errors | _ -> ());
+  (match response with
+  | Message.R_error _ | Message.R_error_t _ -> Obs.Metrics.incr t.c_errors
+  | _ -> ());
   response
 
 let handle t raw =
   let response =
     match Message.decode_request raw with
-    | Error e -> Message.R_error (Clio.Errors.to_string e)
-    | Ok req -> ( try run t req with exn -> Message.R_error (Printexc.to_string exn))
+    | Error e -> error_reply t e
+    | Ok req -> (
+      try run t req
+      with exn -> error_reply t (Clio.Errors.Remote (Printexc.to_string exn)))
   in
   Message.encode_response response
 
-let open_cursors t = Hashtbl.length t.cursors
+let open_cursors t = Blockcache.Lru.length t.cursors
+let peer_version t = t.peer_version

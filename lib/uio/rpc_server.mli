@@ -1,14 +1,25 @@
 (** Server-side dispatcher: decodes requests, runs them against a
-    {!Clio.Server.t}, encodes responses. Cursors are kept in a server-side
-    table keyed by small integers (closed explicitly or leaked until the
-    server dies, as in the V-System). *)
+    {!Clio.Server.t}, encodes responses.
+
+    One [t] per connection — it holds peer state: the negotiated protocol
+    version (v1 until the peer sends [Hello]) and the cursor table. Cursors
+    live in a bounded LRU (capacity [max_cursors]): opening one past the cap
+    evicts the least-recently-used, whose id then answers
+    [Errors.Cursor_expired] — no more leaking until the server dies, as in
+    the V-System era. Error replies are typed ([R_error_t]) once the peer
+    negotiated v2, v1 strings otherwise. *)
 
 type t
 
-val create : Clio.Server.t -> t
+val default_max_cursors : int
+(** 64. *)
+
+val create : ?max_cursors:int -> Clio.Server.t -> t
 
 val handle : t -> string -> string
 (** Total: malformed requests and failed operations come back as
-    [R_error]; [handle] never raises. *)
+    [R_error]/[R_error_t]; [handle] never raises. *)
 
 val open_cursors : t -> int
+val peer_version : t -> int
+(** 1 until the peer's [Hello] negotiates higher. *)

@@ -1,23 +1,36 @@
+type counters = { round_trips : int; bytes_sent : int; bytes_received : int }
+
 type t = {
   handler : string -> string;
   latency_us : int64;
   clock : Sim.Clock.t;
-  mutable round_trips : int;
-  mutable bytes_sent : int;
-  mutable bytes_received : int;
+  mutable c : counters;
 }
 
 let local ?(latency_us = 0L) ~clock handler =
-  { handler; latency_us; clock; round_trips = 0; bytes_sent = 0; bytes_received = 0 }
+  { handler; latency_us; clock; c = { round_trips = 0; bytes_sent = 0; bytes_received = 0 } }
 
 let call t request =
-  t.round_trips <- t.round_trips + 1;
-  t.bytes_sent <- t.bytes_sent + String.length request;
   Sim.Clock.advance t.clock t.latency_us;
   let response = t.handler request in
-  t.bytes_received <- t.bytes_received + String.length response;
+  t.c <-
+    {
+      round_trips = t.c.round_trips + 1;
+      bytes_sent = t.c.bytes_sent + String.length request;
+      bytes_received = t.c.bytes_received + String.length response;
+    };
   response
 
-let round_trips t = t.round_trips
-let bytes_sent t = t.bytes_sent
-let bytes_received t = t.bytes_received
+let counters t = t.c
+
+let diff ~after ~before =
+  {
+    round_trips = after.round_trips - before.round_trips;
+    bytes_sent = after.bytes_sent - before.bytes_sent;
+    bytes_received = after.bytes_received - before.bytes_received;
+  }
+
+let latency_us t = t.latency_us
+let round_trips t = t.c.round_trips
+let bytes_sent t = t.c.bytes_sent
+let bytes_received t = t.c.bytes_received

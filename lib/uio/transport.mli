@@ -6,9 +6,13 @@
     different workstations is 2.5 ms-3 ms." A transport carries one
     request's bytes to a handler and the response's bytes back, charging a
     modeled round-trip cost against a simulated clock, so benches can put
-    the paper's IPC constants back into the totals. *)
+    the paper's IPC constants back into the totals — and so the v2 batching
+    protocol's fewer-round-trips win is directly measurable. *)
 
 type t
+
+(** Accounting snapshot: round trips and bytes both ways since creation. *)
+type counters = { round_trips : int; bytes_sent : int; bytes_received : int }
 
 val local :
   ?latency_us:int64 -> clock:Sim.Clock.t -> (string -> string) -> t
@@ -17,6 +21,13 @@ val local :
     2500–3000 for its cross-workstation IPC. *)
 
 val call : t -> string -> string
+
+val counters : t -> counters
+val diff : after:counters -> before:counters -> counters
+(** [diff ~after ~before] is the accounting delta between two snapshots —
+    what a specific operation cost on the wire. *)
+
+val latency_us : t -> int64
 val round_trips : t -> int
 val bytes_sent : t -> int
 val bytes_received : t -> int

@@ -1,21 +1,26 @@
-(* The UIO RPC layer: codec roundtrips, end-to-end client/server behavior,
-   cursor lifecycle, error propagation, and the modeled IPC accounting. *)
+(* The UIO RPC layer: codec roundtrips (v1 and v2), version negotiation,
+   batched appends with group commit, chunked cursor reads with
+   continuation tokens, cursor hygiene (LRU cap, with_cursor bracket),
+   typed error propagation, and the modeled IPC accounting. *)
 
 open Testkit
 
-let rpc_fixture ?(latency_us = 0L) () =
+let rpc_fixture ?(latency_us = 0L) ?max_cursors ?max_version () =
   let f = make_fixture () in
-  let rpc = Uio.Rpc_server.create f.srv in
+  let rpc = Uio.Rpc_server.create ?max_cursors f.srv in
   let transport =
     Uio.Transport.local ~latency_us ~clock:f.clock (Uio.Rpc_server.handle rpc)
   in
-  (f, rpc, Uio.Client.connect transport, transport)
+  (f, rpc, Uio.Client.connect ?max_version transport, transport)
 
-let okr = function Ok v -> v | Error msg -> Alcotest.failf "rpc error: %s" msg
+let okr = function
+  | Ok v -> v
+  | Error e -> Alcotest.failf "rpc error: %s" (Clio.Errors.to_string e)
 
 (* ------------------------------- codec ------------------------------- *)
 
 let requests_roundtrip () =
+  let chunk = { Uio.Message.cursor = 7; seq = 3; max_entries = 64; max_bytes = 65536 } in
   let samples =
     [
       Uio.Message.Create_log { path = "/a/b"; perms = 0o600 };
@@ -35,6 +40,20 @@ let requests_roundtrip () =
       Uio.Message.Close_cursor 5;
       Uio.Message.Entry_at_or_after { log = 6; ts = -1L };
       Uio.Message.Entry_before { log = 6; ts = Int64.max_int };
+      Uio.Message.Hello { version = 2 };
+      Uio.Message.Append_batch { force = true; items = [] };
+      Uio.Message.Append_batch
+        {
+          force = false;
+          items =
+            [
+              { Uio.Message.log = 4; extra_members = [ 5; 6 ]; data = "one" };
+              { Uio.Message.log = 7; extra_members = []; data = "" };
+            ];
+        };
+      Uio.Message.Next_chunk chunk;
+      Uio.Message.Prev_chunk { chunk with Uio.Message.seq = 0 };
+      Uio.Message.List_dir "/mail";
     ]
   in
   List.iter
@@ -44,6 +63,8 @@ let requests_roundtrip () =
     samples
 
 let responses_roundtrip () =
+  let e1 = { Uio.Message.log = 4; timestamp = Some 5L; payload = "body" } in
+  let e2 = { Uio.Message.log = 4; timestamp = None; payload = "" } in
   let samples =
     [
       Uio.Message.R_unit;
@@ -53,15 +74,59 @@ let responses_roundtrip () =
       Uio.Message.R_timestamp None;
       Uio.Message.R_timestamp (Some 99L);
       Uio.Message.R_entry None;
-      Uio.Message.R_entry (Some { Uio.Message.log = 4; timestamp = Some 5L; payload = "body" });
-      Uio.Message.R_entry (Some { Uio.Message.log = 4; timestamp = None; payload = "" });
+      Uio.Message.R_entry (Some e1);
+      Uio.Message.R_entry (Some e2);
       Uio.Message.R_error "boom";
+      Uio.Message.R_version 2;
+      Uio.Message.R_timestamps [];
+      Uio.Message.R_timestamps [ Some 1L; None; Some 3L ];
+      Uio.Message.R_entries { entries = [ e1; e2 ]; seq = 9; eof = false };
+      Uio.Message.R_entries { entries = []; seq = 1; eof = true };
+      Uio.Message.R_dir
+        [
+          { Uio.Message.id = 4; path = "/mail"; perms = 0o644; entry_count = 2 };
+          { Uio.Message.id = 9; path = "/mail/smith"; perms = 0o600; entry_count = 0 };
+        ];
+      Uio.Message.R_error_t Clio.Errors.No_entry;
     ]
   in
   List.iter
     (fun r ->
       let r2 = ok (Uio.Message.decode_response (Uio.Message.encode_response r)) in
       Alcotest.(check bool) "response roundtrip" true (r = r2))
+    samples
+
+let errors_roundtrip () =
+  (* Every typed error crosses the wire intact — including device errors. *)
+  let samples =
+    [
+      Clio.Errors.Corrupt_block 17;
+      Clio.Errors.Bad_record "mangled";
+      Clio.Errors.No_such_log "/missing";
+      Clio.Errors.Log_exists "/dup";
+      Clio.Errors.Invalid_name "a/b";
+      Clio.Errors.Catalog_full;
+      Clio.Errors.Entry_too_large 99999;
+      Clio.Errors.Volume_offline 3;
+      Clio.Errors.Sequence_full;
+      Clio.Errors.No_entry;
+      Clio.Errors.Cursor_expired;
+      Clio.Errors.Remote "something odd";
+      Clio.Errors.Device Worm.Block_io.Out_of_space;
+      Clio.Errors.Device Worm.Block_io.Write_once_violation;
+      Clio.Errors.Device (Worm.Block_io.Unwritten 5);
+      Clio.Errors.Device (Worm.Block_io.Bad_block 6);
+      Clio.Errors.Device (Worm.Block_io.Out_of_range 7);
+      Clio.Errors.Device (Worm.Block_io.Wrong_size 8);
+      Clio.Errors.Device (Worm.Block_io.Io_error "eio");
+    ]
+  in
+  List.iter
+    (fun e ->
+      match ok (Uio.Message.decode_response (Uio.Message.encode_response (Uio.Message.R_error_t e))) with
+      | Uio.Message.R_error_t e2 ->
+        Alcotest.(check bool) (Clio.Errors.to_string e) true (e = e2)
+      | _ -> Alcotest.fail "typed error did not roundtrip")
     samples
 
 let codec_rejects_garbage () =
@@ -71,6 +136,36 @@ let codec_rejects_garbage () =
   match Uio.Message.decode_response "" with
   | Error (Clio.Errors.Bad_record _) -> ()
   | _ -> Alcotest.fail "empty response must fail"
+
+(* --------------------------- negotiation --------------------------- *)
+
+let test_version_negotiation () =
+  let _f, rpc, client, _tr = rpc_fixture () in
+  Alcotest.(check int) "client negotiated v2" 2 (Uio.Client.version client);
+  Alcotest.(check int) "server saw the hello" 2 (Uio.Rpc_server.peer_version rpc);
+  let _f1, rpc1, client1, _tr1 = rpc_fixture ~max_version:1 () in
+  Alcotest.(check int) "forced v1 client" 1 (Uio.Client.version client1);
+  Alcotest.(check int) "server stays at v1" 1 (Uio.Rpc_server.peer_version rpc1)
+
+let test_typed_errors_cross_the_wire () =
+  let _f, _rpc, client, _tr = rpc_fixture () in
+  (match Uio.Client.resolve client "/missing" with
+  | Error (Clio.Errors.No_such_log _) -> ()
+  | Error e -> Alcotest.failf "expected No_such_log, got %s" (Clio.Errors.to_string e)
+  | Ok _ -> Alcotest.fail "must fail");
+  ignore (okr (Uio.Client.create_log client "/dup"));
+  (match Uio.Client.create_log client "/dup" with
+  | Error (Clio.Errors.Log_exists _) -> ()
+  | Error e -> Alcotest.failf "expected Log_exists, got %s" (Clio.Errors.to_string e)
+  | Ok _ -> Alcotest.fail "duplicate create must fail");
+  (* A v1 session gets the same failures as opaque strings. *)
+  let _f1, _rpc1, client1, _tr1 = rpc_fixture ~max_version:1 () in
+  match Uio.Client.resolve client1 "/missing" with
+  | Error (Clio.Errors.Remote msg) ->
+    Alcotest.(check bool) "v1 error mentions the path" true
+      (String.length msg > 0)
+  | Error e -> Alcotest.failf "expected Remote, got %s" (Clio.Errors.to_string e)
+  | Ok _ -> Alcotest.fail "must fail"
 
 (* ----------------------------- end to end ----------------------------- *)
 
@@ -90,10 +185,14 @@ let test_remote_naming () =
   Alcotest.(check int) "resolve matches" id (okr (Uio.Client.resolve client "/deep/nested/log"));
   Alcotest.(check string) "path_of" "/deep/nested/log" (okr (Uio.Client.path_of client id));
   let names = okr (Uio.Client.list_logs client "/deep") in
-  Alcotest.(check (list string)) "listing" [ "nested" ] (List.map (fun (_, n, _) -> n) names);
+  Alcotest.(check (list string)) "listing paths" [ "/deep/nested" ]
+    (List.map (fun (d : Uio.Message.dir_entry) -> d.Uio.Message.path) names);
+  Alcotest.(check (list int)) "sublog counts" [ 1 ]
+    (List.map (fun (d : Uio.Message.dir_entry) -> d.Uio.Message.entry_count) names);
   okr (Uio.Client.set_perms client ~log:id 0o400);
   let names = okr (Uio.Client.list_logs client "/deep/nested") in
-  Alcotest.(check (list int)) "perms visible" [ 0o400 ] (List.map (fun (_, _, p) -> p) names)
+  Alcotest.(check (list int)) "perms visible" [ 0o400 ]
+    (List.map (fun (d : Uio.Message.dir_entry) -> d.Uio.Message.perms) names)
 
 let test_remote_cursors_bidirectional () =
   let _f, rpc, client, _tr = rpc_fixture () in
@@ -111,7 +210,8 @@ let test_remote_cursors_bidirectional () =
   okr (Uio.Client.close_cursor c);
   Alcotest.(check int) "cursor closed" 0 (Uio.Rpc_server.open_cursors rpc);
   (match Uio.Client.next c with
-  | Error _ -> ()
+  | Error Clio.Errors.Cursor_expired -> ()
+  | Error e -> Alcotest.failf "expected Cursor_expired, got %s" (Clio.Errors.to_string e)
   | Ok _ -> Alcotest.fail "closed cursor must error")
 
 let test_remote_time_search () =
@@ -135,29 +235,6 @@ let test_remote_time_search () =
   in
   Alcotest.(check string) "cursor from time" "t10" (first_ge ())
 
-let test_remote_errors_propagate () =
-  let _f, _rpc, client, _tr = rpc_fixture () in
-  (match Uio.Client.resolve client "/missing" with
-  | Error msg -> Alcotest.(check bool) "mentions the path" true (String.length msg > 0)
-  | Ok _ -> Alcotest.fail "must fail");
-  (match Uio.Client.append client ~log:0 "x" with
-  | Error _ -> ()
-  | Ok _ -> Alcotest.fail "append to root must fail remotely too");
-  ignore (okr (Uio.Client.create_log client "/dup"));
-  match Uio.Client.create_log client "/dup" with
-  | Error _ -> ()
-  | Ok _ -> Alcotest.fail "duplicate create must fail"
-
-let test_transport_accounting () =
-  let f, _rpc, client, tr = rpc_fixture ~latency_us:750L () in
-  let t0 = Sim.Clock.peek f.clock in
-  let log = okr (Uio.Client.create_log client "/acct") in
-  ignore (okr (Uio.Client.append client ~log "fifty bytes of client data, more or less padded"));
-  Alcotest.(check int) "two round trips" 2 (Uio.Transport.round_trips tr);
-  let elapsed = Int64.sub (Sim.Clock.peek f.clock) t0 in
-  Alcotest.(check bool) "IPC latency charged" true (Int64.compare elapsed 1500L >= 0);
-  Alcotest.(check bool) "bytes counted" true (Uio.Transport.bytes_sent tr > 50)
-
 let test_remote_multi_member_append () =
   let _f, _rpc, client, _tr = rpc_fixture () in
   let a = okr (Uio.Client.create_log client "/a") in
@@ -165,6 +242,305 @@ let test_remote_multi_member_append () =
   ignore (okr (Uio.Client.append client ~log:a ~extra_members:[ b ] "both"));
   let in_b = okr (Uio.Client.fold_entries client ~log:b ~init:0 (fun n _ -> n + 1)) in
   Alcotest.(check int) "extra membership over the wire" 1 in_b
+
+(* ----------------------------- batching ----------------------------- *)
+
+let test_append_batch_basic () =
+  let f, _rpc, client, _tr = rpc_fixture () in
+  let a = okr (Uio.Client.create_log client "/a") in
+  let b = okr (Uio.Client.create_log client "/b") in
+  (* Interleaved targets in one request, applied in arrival order. *)
+  let items =
+    List.init 10 (fun i ->
+        {
+          Uio.Message.log = (if i mod 2 = 0 then a else b);
+          extra_members = [];
+          data = Printf.sprintf "e%d" i;
+        })
+  in
+  let stamps = okr (Uio.Client.append_batch ~force:true client items) in
+  Alcotest.(check int) "one timestamp per item" 10 (List.length stamps);
+  let ts = List.map (fun t -> Option.get t) stamps in
+  Alcotest.(check bool) "timestamps strictly increasing" true
+    (List.for_all2 (fun x y -> Int64.compare x y < 0)
+       (List.filteri (fun i _ -> i < 9) ts)
+       (List.tl ts));
+  let payloads log =
+    List.rev (okr (Uio.Client.fold_entries client ~log ~init:[] (fun acc e ->
+        e.Uio.Message.payload :: acc)))
+  in
+  check_payloads "even entries in /a" [ "e0"; "e2"; "e4"; "e6"; "e8" ] (payloads a);
+  check_payloads "odd entries in /b" [ "e1"; "e3"; "e5"; "e7"; "e9" ] (payloads b);
+  ignore f;
+  Alcotest.(check int) "empty batch is a no-op" 0
+    (List.length (okr (Uio.Client.append_batch client [])))
+
+let test_append_batch_group_commit () =
+  (* N forced singles cost N durability points; one forced batch costs 1. *)
+  let f1, _rpc1, client1, _tr1 = rpc_fixture () in
+  let log = okr (Uio.Client.create_log client1 "/gc") in
+  let forces0 = (Clio.Server.stats f1.srv).Clio.Stats.forces in
+  for i = 0 to 9 do
+    ignore (okr (Uio.Client.append ~force:true client1 ~log (string_of_int i)))
+  done;
+  let singles = (Clio.Server.stats f1.srv).Clio.Stats.forces - forces0 in
+  Alcotest.(check int) "10 forced singles = 10 forces" 10 singles;
+  let f2, _rpc2, client2, _tr2 = rpc_fixture () in
+  let log2 = okr (Uio.Client.create_log client2 "/gc") in
+  let forces0 = (Clio.Server.stats f2.srv).Clio.Stats.forces in
+  let items =
+    List.init 10 (fun i -> { Uio.Message.log = log2; extra_members = []; data = string_of_int i })
+  in
+  ignore (okr (Uio.Client.append_batch ~force:true client2 items));
+  let batched = (Clio.Server.stats f2.srv).Clio.Stats.forces - forces0 in
+  Alcotest.(check int) "forced batch = 1 force" 1 batched
+
+let test_append_batch_rejects_atomically () =
+  let f, _rpc, client, _tr = rpc_fixture () in
+  let a = okr (Uio.Client.create_log client "/a") in
+  let appended0 = (Clio.Server.stats f.srv).Clio.Stats.entries_appended in
+  let items =
+    [
+      { Uio.Message.log = a; extra_members = []; data = "good" };
+      { Uio.Message.log = 0; extra_members = []; data = "bad target" };
+    ]
+  in
+  (match Uio.Client.append_batch client items with
+  | Error (Clio.Errors.Bad_record _) -> ()
+  | Error e -> Alcotest.failf "expected Bad_record, got %s" (Clio.Errors.to_string e)
+  | Ok _ -> Alcotest.fail "batch with a bad target must fail");
+  Alcotest.(check int) "nothing staged" appended0
+    (Clio.Server.stats f.srv).Clio.Stats.entries_appended;
+  Alcotest.(check int) "log /a empty" 0
+    (okr (Uio.Client.fold_entries client ~log:a ~init:0 (fun n _ -> n + 1)))
+
+(* -------------------------- chunked reads -------------------------- *)
+
+let test_chunked_reads () =
+  let _f, _rpc, client, _tr = rpc_fixture () in
+  let log = okr (Uio.Client.create_log client "/chunks") in
+  let items =
+    List.init 10 (fun i -> { Uio.Message.log; extra_members = []; data = string_of_int i })
+  in
+  ignore (okr (Uio.Client.append_batch client items));
+  let c = okr (Uio.Client.open_cursor client ~log Uio.Message.From_start) in
+  let take n =
+    let entries, eof = okr (Uio.Client.next_chunk ~max_entries:n c) in
+    (List.map (fun e -> e.Uio.Message.payload) entries, eof)
+  in
+  Alcotest.(check (pair (list string) bool)) "first 4" ([ "0"; "1"; "2"; "3" ], false) (take 4);
+  Alcotest.(check (pair (list string) bool)) "next 4" ([ "4"; "5"; "6"; "7" ], false) (take 4);
+  Alcotest.(check (pair (list string) bool)) "last 2 + eof" ([ "8"; "9" ], true) (take 4);
+  Alcotest.(check (pair (list string) bool)) "past the end" ([], true) (take 4);
+  okr (Uio.Client.close_cursor c);
+  (* Backwards, budgeted by bytes: 100-byte payloads against a 150-byte
+     budget come back two per chunk. *)
+  let log2 = okr (Uio.Client.create_log client "/bytes") in
+  let big = String.make 100 'x' in
+  ignore
+    (okr
+       (Uio.Client.append_batch client
+          (List.init 4 (fun _ -> { Uio.Message.log = log2; extra_members = []; data = big }))));
+  let c = okr (Uio.Client.open_cursor client ~log:log2 Uio.Message.From_end) in
+  let entries, eof = okr (Uio.Client.prev_chunk ~max_bytes:150 c) in
+  Alcotest.(check int) "byte budget stops at 2" 2 (List.length entries);
+  Alcotest.(check bool) "not eof yet" false eof;
+  okr (Uio.Client.close_cursor c)
+
+let test_stale_continuation_token () =
+  (* Raw RPC: replaying an old (cursor, seq) token is refused instead of
+     silently re-reading. *)
+  let f = make_fixture () in
+  let rpc = Uio.Rpc_server.create f.srv in
+  let h req =
+    ok (Uio.Message.decode_response (Uio.Rpc_server.handle rpc (Uio.Message.encode_request req)))
+  in
+  let log = ok (Clio.Server.create_log f.srv "/raw") in
+  for i = 0 to 5 do
+    ignore (ok (Clio.Server.append f.srv ~log (string_of_int i)))
+  done;
+  ignore (h (Uio.Message.Hello { version = 2 }));
+  let cid =
+    match h (Uio.Message.Open_cursor { log; whence = Uio.Message.From_start }) with
+    | Uio.Message.R_id id -> id
+    | _ -> Alcotest.fail "open failed"
+  in
+  let chunk seq =
+    h (Uio.Message.Next_chunk { Uio.Message.cursor = cid; seq; max_entries = 2; max_bytes = 1000 })
+  in
+  (match chunk 0 with
+  | Uio.Message.R_entries { seq = 1; eof = false; entries } ->
+    Alcotest.(check int) "two entries" 2 (List.length entries)
+  | _ -> Alcotest.fail "first chunk failed");
+  (match chunk 0 with
+  | Uio.Message.R_error_t Clio.Errors.Cursor_expired -> ()
+  | _ -> Alcotest.fail "replayed token must be refused");
+  (match chunk 1 with
+  | Uio.Message.R_entries { seq = 2; _ } -> ()
+  | _ -> Alcotest.fail "fresh token must work");
+  match
+    h (Uio.Message.Next_chunk { Uio.Message.cursor = 9999; seq = 0; max_entries = 1; max_bytes = 1 })
+  with
+  | Uio.Message.R_error_t Clio.Errors.Cursor_expired -> ()
+  | _ -> Alcotest.fail "unknown cursor must be Cursor_expired"
+
+(* ------------------------- cursor hygiene ------------------------- *)
+
+let test_cursor_lru_cap () =
+  let _f, rpc, client, _tr = rpc_fixture ~max_cursors:4 () in
+  let log = okr (Uio.Client.create_log client "/lru") in
+  ignore (okr (Uio.Client.append client ~log "x"));
+  let cursors =
+    List.init 5 (fun _ -> okr (Uio.Client.open_cursor client ~log Uio.Message.From_start))
+  in
+  Alcotest.(check int) "capped at 4" 4 (Uio.Rpc_server.open_cursors rpc);
+  (match Uio.Client.next (List.hd cursors) with
+  | Error Clio.Errors.Cursor_expired -> ()
+  | Error e -> Alcotest.failf "expected Cursor_expired, got %s" (Clio.Errors.to_string e)
+  | Ok _ -> Alcotest.fail "evicted cursor must be stale");
+  match Uio.Client.next (List.nth cursors 4) with
+  | Ok (Some e) -> Alcotest.(check string) "newest cursor still live" "x" e.Uio.Message.payload
+  | _ -> Alcotest.fail "newest cursor must survive"
+
+let test_with_cursor_bracket () =
+  let _f, rpc, client, _tr = rpc_fixture () in
+  let log = okr (Uio.Client.create_log client "/wc") in
+  ignore (okr (Uio.Client.append client ~log "x"));
+  (* Normal return closes. *)
+  let n =
+    okr
+      (Uio.Client.with_cursor client ~log Uio.Message.From_start (fun c ->
+           let entries, _ = okr (Uio.Client.next_chunk c) in
+           Ok (List.length entries)))
+  in
+  Alcotest.(check int) "body result" 1 n;
+  Alcotest.(check int) "closed after Ok" 0 (Uio.Rpc_server.open_cursors rpc);
+  (* Error return closes. *)
+  (match
+     Uio.Client.with_cursor client ~log Uio.Message.From_start (fun _ ->
+         Error Clio.Errors.No_entry)
+   with
+  | Error Clio.Errors.No_entry -> ()
+  | _ -> Alcotest.fail "body error must propagate");
+  Alcotest.(check int) "closed after Error" 0 (Uio.Rpc_server.open_cursors rpc);
+  (* Exception closes. *)
+  (try
+     ignore
+       (Uio.Client.with_cursor client ~log Uio.Message.From_start (fun _ ->
+            failwith "boom"))
+   with Failure _ -> ());
+  Alcotest.(check int) "closed after exception" 0 (Uio.Rpc_server.open_cursors rpc)
+
+(* ------------------------ transport accounting ------------------------ *)
+
+let test_transport_accounting () =
+  let f, _rpc, client, tr = rpc_fixture ~latency_us:750L () in
+  let t0 = Sim.Clock.peek f.clock in
+  let before = Uio.Transport.counters tr in
+  let log = okr (Uio.Client.create_log client "/acct") in
+  ignore (okr (Uio.Client.append client ~log "fifty bytes of client data, more or less padded"));
+  let d = Uio.Transport.diff ~after:(Uio.Transport.counters tr) ~before in
+  Alcotest.(check int) "two round trips" 2 d.Uio.Transport.round_trips;
+  let elapsed = Int64.sub (Sim.Clock.peek f.clock) t0 in
+  Alcotest.(check bool) "IPC latency charged" true (Int64.compare elapsed 1500L >= 0);
+  Alcotest.(check bool) "bytes counted" true (d.Uio.Transport.bytes_sent > 50)
+
+let test_fold_round_trips () =
+  (* 1000 entries: the chunked fold costs ceil(1000/128) = 8 reads plus the
+     open/close bracket, not the V-era 1000+ — and a v1 session still gets
+     the right answer, one entry per trip. *)
+  let n = 1000 in
+  let _f, _rpc, client, tr = rpc_fixture () in
+  let log = okr (Uio.Client.create_log client "/bulk") in
+  let batch = 250 in
+  for b = 0 to (n / batch) - 1 do
+    let items =
+      List.init batch (fun i ->
+          { Uio.Message.log; extra_members = []; data = string_of_int ((b * batch) + i) })
+    in
+    ignore (okr (Uio.Client.append_batch client items))
+  done;
+  let before = Uio.Transport.counters tr in
+  let count = okr (Uio.Client.fold_entries client ~log ~init:0 (fun k _ -> k + 1)) in
+  let d = Uio.Transport.diff ~after:(Uio.Transport.counters tr) ~before in
+  Alcotest.(check int) "all entries seen" n count;
+  let chunk = Uio.Client.default_chunk_entries in
+  let ceil_chunks = (n + chunk - 1) / chunk in
+  Alcotest.(check bool)
+    (Printf.sprintf "fold costs <= ceil(%d/%d)+2 trips (got %d)" n chunk d.Uio.Transport.round_trips)
+    true
+    (d.Uio.Transport.round_trips <= ceil_chunks + 2);
+  (* Same server, v1 session: correct but one entry per round trip. *)
+  let srv_payloads = all_payloads _f.srv ~log in
+  let rpc1 = Uio.Rpc_server.create _f.srv in
+  let tr1 = Uio.Transport.local ~clock:_f.clock (Uio.Rpc_server.handle rpc1) in
+  let client1 = Uio.Client.connect ~max_version:1 tr1 in
+  let before = Uio.Transport.counters tr1 in
+  let v1_payloads =
+    List.rev
+      (okr (Uio.Client.fold_entries client1 ~log ~init:[] (fun acc e ->
+           e.Uio.Message.payload :: acc)))
+  in
+  let d1 = Uio.Transport.diff ~after:(Uio.Transport.counters tr1) ~before in
+  Alcotest.(check bool) "v1 fold is per-entry" true (d1.Uio.Transport.round_trips > n);
+  Alcotest.(check (list string)) "v1 and server agree" srv_payloads v1_payloads;
+  Alcotest.(check bool) "v2 is >=10x fewer trips" true
+    (d1.Uio.Transport.round_trips >= 10 * d.Uio.Transport.round_trips)
+
+(* ------------------------ batch = singles bytes ------------------------ *)
+
+let device_images f =
+  List.map
+    (fun io ->
+      let cap = io.Worm.Block_io.capacity in
+      List.init cap (fun i ->
+          match io.Worm.Block_io.read i with Ok b -> Some (Bytes.to_string b) | Error _ -> None))
+    (fixture_devices f)
+
+let prop_batch_equals_singles =
+  (* The same entries sent as one append_batch and as N singles leave
+     byte-identical volumes, and the batch survives recovery. *)
+  let gen =
+    QCheck2.Gen.(
+      list_size (int_range 1 30)
+        (pair bool (string_size ~gen:(char_range 'a' 'z') (int_range 0 400))))
+  in
+  Testkit.qtest ~count:40 "append_batch == N appends (bytes + recovery)" gen (fun spec ->
+      let mk () =
+        let f = make_fixture ~nvram:false () in
+        let a = create_log f "/a" in
+        let b = create_log f "/b" in
+        (f, a, b)
+      in
+      let f1, a1, b1 = mk () in
+      let items =
+        List.map
+          (fun (to_a, data) ->
+            { Uio.Message.log = (if to_a then a1 else b1); extra_members = []; data })
+          spec
+      in
+      let batch_items =
+        List.map
+          (fun { Uio.Message.log; extra_members; data } ->
+            { Clio.Server.log; extra_members; payload = data })
+          items
+      in
+      ignore (ok (Clio.Server.append_batch ~force:true f1.srv batch_items));
+      let f2, a2, b2 = mk () in
+      List.iter
+        (fun (to_a, data) ->
+          ignore (ok (Clio.Server.append f2.srv ~log:(if to_a then a2 else b2) data)))
+        spec;
+      ignore (ok (Clio.Server.force f2.srv));
+      let same_bytes = device_images f1 = device_images f2 in
+      (* Crash the batched server and make sure recovery sees every entry. *)
+      let srv1' = crash_and_recover f1 in
+      let expect to_a =
+        List.filter_map (fun (t, d) -> if t = to_a then Some d else None) spec
+      in
+      same_bytes
+      && all_payloads srv1' ~log:a1 = expect true
+      && all_payloads srv1' ~log:b1 = expect false)
 
 let prop_request_fuzz =
   (* Arbitrary bytes never crash the server dispatcher. *)
@@ -183,7 +559,22 @@ let () =
         [
           Alcotest.test_case "requests roundtrip" `Quick requests_roundtrip;
           Alcotest.test_case "responses roundtrip" `Quick responses_roundtrip;
+          Alcotest.test_case "typed errors roundtrip" `Quick errors_roundtrip;
           Alcotest.test_case "garbage rejected" `Quick codec_rejects_garbage;
+        ] );
+      ( "protocol-v2",
+        [
+          Alcotest.test_case "version negotiation" `Quick test_version_negotiation;
+          Alcotest.test_case "typed errors" `Quick test_typed_errors_cross_the_wire;
+          Alcotest.test_case "append_batch" `Quick test_append_batch_basic;
+          Alcotest.test_case "group commit" `Quick test_append_batch_group_commit;
+          Alcotest.test_case "batch rejects atomically" `Quick test_append_batch_rejects_atomically;
+          Alcotest.test_case "chunked reads" `Quick test_chunked_reads;
+          Alcotest.test_case "stale continuation token" `Quick test_stale_continuation_token;
+          Alcotest.test_case "cursor LRU cap" `Quick test_cursor_lru_cap;
+          Alcotest.test_case "with_cursor bracket" `Quick test_with_cursor_bracket;
+          Alcotest.test_case "fold round trips" `Quick test_fold_round_trips;
+          prop_batch_equals_singles;
         ] );
       ( "end-to-end",
         [
@@ -191,7 +582,7 @@ let () =
           Alcotest.test_case "naming" `Quick test_remote_naming;
           Alcotest.test_case "cursors" `Quick test_remote_cursors_bidirectional;
           Alcotest.test_case "time search" `Quick test_remote_time_search;
-          Alcotest.test_case "errors propagate" `Quick test_remote_errors_propagate;
+          Alcotest.test_case "errors propagate" `Quick test_typed_errors_cross_the_wire;
           Alcotest.test_case "transport accounting" `Quick test_transport_accounting;
           Alcotest.test_case "multi-member append" `Quick test_remote_multi_member_append;
           prop_request_fuzz;
