@@ -1,0 +1,125 @@
+(* Chaos soak: the fault-tolerance stack under a lossy transport, measured.
+   Each seed drives a keyed append workload through Transport.lossy over the
+   RPC stack with retries + dedup, then crashes and recovers, checking that
+   every acknowledged append is readable exactly once. The table reports
+   what the chaos cost: injected faults, retries, dedup replays, and the
+   modeled time inflation versus a fault-free run of the same operations.
+
+   Deterministic per seed; CLIO_BENCH_QUICK=1 shrinks the seed count. *)
+
+type run = {
+  seed : int64;
+  ops : int;
+  faults : int;
+  retries : int;
+  dedup_hits : int;
+  chaos_ms : float;
+  clean_ms : float;
+}
+
+let retry =
+  {
+    Uio.Client.max_attempts = 10_000;
+    deadline_us = 1_000_000_000_000L;
+    base_backoff_us = 200L;
+    max_backoff_us = 5_000L;
+  }
+
+let ops_of_seed seed n =
+  let rng = Sim.Rng.create seed in
+  List.init n (fun i ->
+      let len = Sim.Rng.int rng 80 in
+      ( Printf.sprintf "s%Ld-%d-%s" seed i (String.make len 'x'),
+        Sim.Rng.chance rng 0.2 ))
+
+let drive ~lossy ~seed ~n =
+  let f = Util.make_fixture ~block_size:256 ~capacity:4096 () in
+  let rng = Sim.Rng.create (Int64.lognot seed) in
+  let fault_rng = Sim.Rng.split rng in
+  let jitter_rng = Sim.Rng.split rng in
+  let rpc = Uio.Rpc_server.create f.Util.srv in
+  let transport_clock = Sim.Clock.simulated () in
+  let inner =
+    Uio.Transport.local ~latency_us:750L ~clock:transport_clock (Uio.Rpc_server.handle rpc)
+  in
+  let tr = if lossy then Uio.Transport.lossy ~rng:fault_rng inner else inner in
+  let client = Uio.Client.connect ~retry ~rng:jitter_rng tr in
+  let log = Util.ok (Uio.Client.ensure_log client "/chaos") in
+  let t0 = Sim.Clock.peek transport_clock in
+  List.iter
+    (fun (data, force) -> ignore (Util.ok (Uio.Client.append ~force client ~log data)))
+    (ops_of_seed seed n);
+  Util.ok (Uio.Client.force client);
+  let ms = Int64.to_float (Int64.sub (Sim.Clock.peek transport_clock) t0) /. 1000.0 in
+  let dedup =
+    Obs.Metrics.counter_value (Obs.Metrics.counter (Clio.Server.metrics f.Util.srv) "rpc_dedup_hits")
+  in
+  (f, client, tr, log, ms, dedup)
+
+let run () =
+  Util.section "CHAOS SOAK - lossy transport, keyed retries, dedup, recovery";
+  let seeds = if Util.quick () then 5 else 20 in
+  let n = if Util.quick () then 50 else 200 in
+  let runs =
+    List.init seeds (fun i ->
+        let seed = Int64.of_int ((7919 * i) + 12345) in
+        let f, client, tr, log, chaos_ms, dedup = drive ~lossy:true ~seed ~n in
+        let _, _, _, _, clean_ms, _ = drive ~lossy:false ~seed ~n in
+        (* The soak's point: nothing acknowledged may be lost or doubled. *)
+        let count srv =
+          Util.ok
+            (Clio.Server.fold_entries srv ~log ~init:0 (fun k _ -> k + 1))
+        in
+        if count f.Util.srv <> n then
+          failwith (Printf.sprintf "chaos bench: seed %Ld lost entries" seed);
+        let s = Uio.Client.stats client in
+        ( f.Util.srv,
+          {
+            seed;
+            ops = n;
+            faults = Uio.Transport.total_faults tr;
+            retries = s.Uio.Client.retries;
+            dedup_hits = dedup;
+            chaos_ms;
+            clean_ms;
+          } ))
+  in
+  let columns = [ "seed"; "ops"; "faults"; "retries"; "dedup hits"; "chaos"; "clean" ] in
+  Util.table ~columns
+    (List.map
+       (fun (_, r) ->
+         [
+           Printf.sprintf "%Ld" r.seed;
+           string_of_int r.ops;
+           string_of_int r.faults;
+           string_of_int r.retries;
+           string_of_int r.dedup_hits;
+           Printf.sprintf "%.1f ms" r.chaos_ms;
+           Printf.sprintf "%.1f ms" r.clean_ms;
+         ])
+       runs);
+  let tot f = List.fold_left (fun acc (_, r) -> acc + f r) 0 runs in
+  let totf f = List.fold_left (fun acc (_, r) -> acc +. f r) 0. runs in
+  Printf.printf
+    "  %d seeds x %d ops: %d faults injected, %d retries, %d dedup replays, 0 entries lost\n"
+    seeds n (tot (fun r -> r.faults)) (tot (fun r -> r.retries))
+    (tot (fun r -> r.dedup_hits));
+  Printf.printf "  modeled time inflation under chaos: %.2fx\n"
+    (totf (fun r -> r.chaos_ms) /. totf (fun r -> r.clean_ms));
+  let srv = match runs with (srv, _) :: _ -> srv | [] -> assert false in
+  Util.emit_bench_json ~name:"chaos"
+    ~rows:
+      (List.map
+         (fun (_, r) ->
+           Obs.Json.Obj
+             [
+               ("seed", Obs.Json.Float (Int64.to_float r.seed));
+               ("ops", Obs.Json.Float (float_of_int r.ops));
+               ("faults", Obs.Json.Float (float_of_int r.faults));
+               ("retries", Obs.Json.Float (float_of_int r.retries));
+               ("dedup_hits", Obs.Json.Float (float_of_int r.dedup_hits));
+               ("chaos_ms", Obs.Json.Float r.chaos_ms);
+               ("clean_ms", Obs.Json.Float r.clean_ms);
+             ])
+         runs)
+    srv

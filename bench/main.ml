@@ -4,7 +4,7 @@
      dune exec bench/main.exe             run everything
      dune exec bench/main.exe -- table1   run one section
 
-   Section names: fig3 table1 write rpc fig4 space coldread
+   Section names: fig3 table1 write rpc fig4 space coldread chaos
                   ablate-n ablate-force ablate-locate ablate-fs ablate-sublog
                   ablations (all five) *)
 
@@ -27,6 +27,7 @@ let sections : (string * (unit -> unit)) list =
     ("ablate-heads", Ablations.ablate_heads);
     ("cache-econ", History_bench.cache_economics);
     ("delay", History_bench.delayed_write);
+    ("chaos", Chaos_bench.run);
   ]
 
 let usage () =

@@ -195,6 +195,18 @@ let trace_cmd_impl dir block_size capacity path json =
   if json then print_string (Clio.Server.trace_jsonl srv)
   else Format.printf "%a@?" Clio.Server.dump_trace srv
 
+(* The breaker is volatile server state: a CLI process recovers a fresh
+   (closed) breaker, so inspect/reset/trip here act on this invocation's
+   server instance — the operator drill for the long-running daemon case,
+   and the way tests exercise the admin path end to end. *)
+let admin_breaker dir block_size capacity trip reset json =
+  let srv = open_store ~dir ~block_size ~capacity in
+  if trip then Clio.Server.trip_breaker srv;
+  if reset then Clio.Server.reset_breaker srv;
+  let b = Clio.Server.breaker srv in
+  if json then print_endline (Obs.Json.to_string_pretty (Clio.Breaker.to_json b))
+  else Format.printf "%a@." Clio.Breaker.pp b
+
 (* ------------------------------- wiring ------------------------------ *)
 
 let with_common f = Term.(const f $ dir_arg $ block_size_arg $ capacity_arg)
@@ -256,6 +268,23 @@ let metrics_cmd =
           percentiles), cache hit/miss counts and device op counts.")
     Term.(with_common metrics_cmd_impl $ json_flag)
 
+let admin_cmd =
+  let trip =
+    Arg.(value & flag & info [ "trip" ] ~doc:"Force the breaker open (operator drill).")
+  in
+  let reset =
+    Arg.(value & flag & info [ "reset" ] ~doc:"Close the breaker and zero its error budget.")
+  in
+  let breaker_sub =
+    Cmd.v
+      (Cmd.info "breaker"
+         ~doc:
+           "Inspect the write-path circuit breaker (state, error budget, trip \
+            and rejection totals); --trip / --reset change it first.")
+      Term.(with_common admin_breaker $ trip $ reset $ json_flag)
+  in
+  Cmd.group (Cmd.info "admin" ~doc:"Operator controls (degraded mode).") [ breaker_sub ]
+
 let trace_cmd =
   Cmd.v
     (Cmd.info "trace"
@@ -280,4 +309,5 @@ let () =
             metrics_cmd;
             trace_cmd;
             fsck_cmd;
+            admin_cmd;
           ]))

@@ -6,6 +6,7 @@ type t = {
   entrymap_slack : int;
   timestamp_all : bool;
   trace_ops : bool;
+  breaker_threshold : int;
 }
 
 let default =
@@ -17,6 +18,7 @@ let default =
     entrymap_slack = 4;
     timestamp_all = true;
     trace_ops = false;
+    breaker_threshold = 8;
   }
 
 let validate t =

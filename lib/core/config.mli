@@ -19,12 +19,16 @@ type t = {
   trace_ops : bool;
       (** Record a span per operation in {!Obs.Trace} (metrics counters and
           latency histograms are always on; only span capture is gated). *)
+  breaker_threshold : int;
+      (** Device append errors tolerated before the {!Breaker} trips the
+          server into degraded (read-only) mode; [<= 0] disables tripping.
+          Reset the budget with [clio admin breaker --reset]. *)
 }
 
 val default : t
 (** 1 KB blocks, N = 16, 1024-block cache, NVRAM tail on, slack 4,
     timestamps on — the configuration of the paper's section 3.2/3.3
-    measurements. *)
+    measurements — plus an 8-error breaker budget. *)
 
 val validate : t -> (t, Errors.t) result
 (** Checks structural constraints (fanout ≥ 2, block size large enough for a

@@ -69,6 +69,14 @@ module Pending = struct
     let span = pow t level in
     block - (block mod span)
 
+  let retarget t ~level ~block =
+    let st = t.states.(level - 1) in
+    let base = align_down t ~level block in
+    if st.base <> base then begin
+      st.base <- base;
+      Hashtbl.reset st.maps
+    end
+
   let seed t ~level ~block files =
     let st = t.states.(level - 1) in
     let base = align_down t ~level block in

@@ -49,6 +49,14 @@ module Pending : sig
       level-[l] information is rebuilt from level-[l-1] entrymap entries
       rather than from raw blocks (section 2.3.1 / Figure 4). *)
 
+  val retarget : t -> level:int -> block:int -> unit
+  (** Point [level]'s accumulating range at the one containing [block],
+      clearing its maps if that is a change. Recovery MUST call this even
+      when it has nothing to seed (every block of the range invalidated):
+      a level left at its initial base would otherwise claim authoritative
+      empty coverage of a range whose truth lives in a written entrymap
+      entry, hiding those blocks from every log. *)
+
   val due_at : t -> block:int -> int list
   (** Levels whose entrymap entry must be emitted when block [block] opens:
       all [l] with [block mod N^l = 0], in ascending order, capped at

@@ -12,6 +12,9 @@ type t =
   | No_entry
   | Cursor_expired
   | Remote of string
+  | Degraded
+  | Timeout
+  | Disconnected
 
 let pp ppf = function
   | Device e -> Format.fprintf ppf "device: %a" Worm.Block_io.pp_error e
@@ -27,6 +30,9 @@ let pp ppf = function
   | No_entry -> Format.fprintf ppf "no matching entry"
   | Cursor_expired -> Format.fprintf ppf "cursor expired (closed, evicted or stale token)"
   | Remote msg -> Format.fprintf ppf "remote error: %s" msg
+  | Degraded -> Format.fprintf ppf "server degraded: writes disabled (read-only mode)"
+  | Timeout -> Format.fprintf ppf "request timed out (deadline exceeded)"
+  | Disconnected -> Format.fprintf ppf "transport disconnected"
 
 let to_string e = Format.asprintf "%a" pp e
 

@@ -18,6 +18,15 @@ type t =
   | Remote of string
       (** an error that crossed the wire without a typed encoding — the
           v1 string form, or a code this build does not know *)
+  | Degraded
+      (** the server's error-budget breaker is open: writes are refused
+          until an operator resets it (reads keep working) *)
+  | Timeout
+      (** a request or its response was lost in transit and the per-call
+          deadline budget ran out before a retry succeeded *)
+  | Disconnected
+      (** the transport reset mid-call; whether the request was applied is
+          unknown unless the call carried an idempotency key *)
 
 val pp : Format.formatter -> t -> unit
 val to_string : t -> string

@@ -74,6 +74,15 @@ let rebuild_pending st (v : Vol.t) =
     let fanout = Vol.fanout v in
     let reads_before = st.State.stats.Stats.locate_block_reads in
     let own = ref 0 in
+    (* Every level's accumulating range must point at the range containing
+       the last written block BEFORE any seeding: if the whole range turns
+       out to be invalid blocks (quarantined garbage), no seed call would
+       ever move the base off its initial value, and a stale base claims
+       authoritative empty coverage of blocks whose entrymap entry is on
+       the medium. *)
+    for level = 1 to Vol.levels v do
+      Entrymap.Pending.retarget v.pending ~level ~block:(f - 1)
+    done;
     (* Level 1: examine the raw blocks written since the last level-1
        boundary (between 0 and N of them). *)
     let base1 = align_down (f - 1) fanout in
@@ -239,8 +248,26 @@ let recover ~config ~clock ?nvram ~alloc_volume ~devices () =
       match Worm.Nvram.load nv with
       | None -> Ok ()
       | Some (block, image) ->
-        if block <> active.Vol.tail_index then begin
-          (* Stale: the block reached the medium before the crash. *)
+        (* The image names the tail block it was staged for. [block]
+           differing from the recovered tail has TWO causes that must not
+           be conflated: the block reached the medium before the crash
+           (stale — clear), or the crashed writer's torn burn left garbage
+           there and quarantine invalidated it, advancing the tail past an
+           image that never landed (NOT stale — the image holds
+           force-acknowledged entries and must be restored at the new
+           tail, or an acknowledged force is silently lost). Only a block
+           that reads back as valid records proves the image landed. *)
+        let stale =
+          block <> active.Vol.tail_index
+          &&
+          match active.Vol.dev.Worm.Block_io.read block with
+          | Ok b -> (
+            match Block_format.classify b with
+            | Block_format.Valid _ -> true
+            | Block_format.Invalidated | Block_format.Corrupt -> false)
+          | Error _ -> false
+        in
+        if stale then begin
           Worm.Nvram.clear nv;
           Ok ()
         end
@@ -249,8 +276,10 @@ let recover ~config ~clock ?nvram ~alloc_volume ~devices () =
           | Block_format.Valid records ->
             let* () = Block_format.Builder.load active.Vol.tail records in
             active.Vol.tail_open <- true;
-            (* Re-queue any entrymap entries due at this boundary; duplicates
-               are harmless (locate takes the first match). *)
+            (* Re-queue any entrymap entries due at the (possibly moved)
+               tail boundary; duplicates are harmless (locate takes the
+               first match). *)
+            let block = active.Vol.tail_index in
             let due = Entrymap.Pending.due_at active.Vol.pending ~block in
             List.iter
               (fun level ->

@@ -13,6 +13,35 @@ let create ?(config = Config.default) ~clock ?nvram ~alloc_volume () =
 let recover ?(config = Config.default) ~clock ?nvram ~alloc_volume ~devices () =
   Recovery.recover ~config ~clock ?nvram ~alloc_volume ~devices ()
 
+(* ----------------------------- degraded mode ----------------------------- *)
+
+(* Every mutating entry point passes through [write_guarded]: a tripped
+   breaker refuses the write with [Degraded] before anything is staged, and
+   a device error escaping a write spends one unit of the error budget
+   (possibly tripping the breaker for the *next* write — the failing call
+   itself still reports its device error, which is more actionable). Routine
+   WORM housekeeping — a bad block successfully invalidated and retried —
+   never surfaces as a device error, so it costs no budget. *)
+
+let breaker st = st.State.breaker
+
+let write_guarded st f =
+  if Breaker.is_open st.State.breaker then begin
+    Breaker.record_rejected st.State.breaker;
+    Error Errors.Degraded
+  end
+  else begin
+    let r = f () in
+    (match r with
+    | Error (Errors.Device _) -> Breaker.record_error st.State.breaker
+    | _ -> ());
+    r
+  end
+
+let breaker_state st = Breaker.state (breaker st)
+let reset_breaker st = Breaker.reset (breaker st)
+let trip_breaker st = Breaker.trip (breaker st)
+
 (* --------------------------------- naming ------------------------------- *)
 
 let resolve st path =
@@ -37,7 +66,7 @@ let split_parent path =
     let name = String.sub path (i + 1) (String.length path - i - 1) in
     if name = "" then Error (Errors.Invalid_name path) else Ok (parent, name)
 
-let create_log ?(perms = 0o644) st path =
+let create_log_inner ?(perms = 0o644) st path =
   let* parent_path, name = split_parent path in
   let* parent = Catalog.resolve_path st.State.catalog parent_path in
   let* name = Catalog.validate_name name in
@@ -61,7 +90,7 @@ let create_log ?(perms = 0o644) st path =
     Ok id
   end
 
-let ensure_log ?(perms = 0o644) st path =
+let ensure_log_inner ?(perms = 0o644) st path =
   let components = String.split_on_char '/' path |> List.filter (fun s -> s <> "") in
   if components = [] then Error (Errors.Invalid_name path)
   else begin
@@ -73,7 +102,7 @@ let ensure_log ?(perms = 0o644) st path =
           match Catalog.resolve_path st.State.catalog here with
           | Ok _ -> Ok ()
           | Error (Errors.No_such_log _) ->
-            let* _id = create_log ~perms st here in
+            let* _id = create_log_inner ~perms st here in
             Ok ()
           | Error _ as e -> e
         in
@@ -82,11 +111,15 @@ let ensure_log ?(perms = 0o644) st path =
     walk "/" components
   end
 
+let create_log ?perms st path = write_guarded st (fun () -> create_log_inner ?perms st path)
+let ensure_log ?perms st path = write_guarded st (fun () -> ensure_log_inner ?perms st path)
+
 let set_perms st ~log perms =
-  let* () =
-    Writer.log_catalog_op st (Catalog.Set_perms { id = log; perms; at = State.fresh_ts st })
-  in
-  Writer.force st
+  write_guarded st (fun () ->
+      let* () =
+        Writer.log_catalog_op st (Catalog.Set_perms { id = log; perms; at = State.fresh_ts st })
+      in
+      Writer.force st)
 
 (* --------------------------------- writing ------------------------------ *)
 
@@ -106,7 +139,7 @@ let validate_append_target st ~log extra_members =
       check id)
     (Ok ()) extra_members
 
-let append ?(extra_members = []) ?(force = false) st ~log payload =
+let append_inner ?(extra_members = []) ?(force = false) st ~log payload =
   let* () = validate_append_target st ~log extra_members in
   let timestamp =
     if st.State.config.Config.timestamp_all then Some (State.fresh_ts st) else None
@@ -126,9 +159,13 @@ let append ?(extra_members = []) ?(force = false) st ~log payload =
     Ok header.Header.timestamp
   end
 
+let append ?extra_members ?force st ~log payload =
+  write_guarded st (fun () -> append_inner ?extra_members ?force st ~log payload)
+
 let append_path ?extra_members ?force st ~path payload =
-  let* log = ensure_log st path in
-  append ?extra_members ?force st ~log payload
+  write_guarded st (fun () ->
+      let* log = ensure_log_inner st path in
+      append_inner ?extra_members ?force st ~log payload)
 
 type batch_item = {
   log : Ids.logfile;
@@ -143,7 +180,7 @@ type batch_item = {
    their relative order. A device failure mid-batch aborts the remaining
    items; already-staged entries survive, exactly as separate appends
    interrupted at the same point would. *)
-let append_batch ?(force = false) st items =
+let append_batch_inner ?(force = false) st items =
   let* () =
     List.fold_left
       (fun acc { log; extra_members; payload } ->
@@ -169,7 +206,10 @@ let append_batch ?(force = false) st items =
   let* () = if force then Writer.force st else Ok () in
   Ok timestamps
 
-let force st = Writer.force st
+let append_batch ?force st items =
+  write_guarded st (fun () -> append_batch_inner ?force st items)
+
+let force st = write_guarded st (fun () -> Writer.force st)
 
 (* --------------------------------- reading ------------------------------ *)
 
@@ -316,6 +356,7 @@ let metrics_obj st =
               ] );
           ( "volumes",
             Obj [ ("count", Int (nvols st)); ("blocks_used", Int (volume_blocks_used st)) ] );
+          ("breaker", Breaker.to_json st.State.breaker);
         ])
   | other -> other
 
@@ -326,7 +367,8 @@ let dump_metrics ppf st =
   let hits, misses, resident = cache_totals st in
   Format.fprintf ppf "@\ncache: hits=%d misses=%d resident=%d" hits misses resident;
   let d = device_totals st in
-  Format.fprintf ppf "@\ndevice: %a" Worm.Dev_stats.pp d
+  Format.fprintf ppf "@\ndevice: %a" Worm.Dev_stats.pp d;
+  Format.fprintf ppf "@\nbreaker: %a" Breaker.pp st.State.breaker
 
 let dump_trace ppf st =
   List.iter

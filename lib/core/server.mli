@@ -104,6 +104,28 @@ val append_path :
 
 val force : t -> (unit, Errors.t) result
 
+(** {1 Degraded mode}
+
+    Every mutating entry point ({!append}, {!append_batch}, {!append_path},
+    {!create_log}, {!ensure_log}, {!set_perms}, {!force}) spends one unit of
+    an error budget each time it fails with a device error. When the budget
+    ({!Config.breaker_threshold}, default 8) is exhausted, the breaker trips
+    and the server enters degraded (read-only) mode: subsequent writes are
+    refused up front with [Errors.Degraded], while reads, locate and
+    timestamp search keep working. The breaker is volatile — {!recover}
+    starts closed — and an operator can inspect/reset it via these accessors
+    or [clio admin breaker]. *)
+
+val breaker : t -> Breaker.t
+val breaker_state : t -> Breaker.state
+
+val reset_breaker : t -> unit
+(** Close the breaker and zero the current error budget (cumulative totals
+    in the metrics are preserved). *)
+
+val trip_breaker : t -> unit
+(** Force the breaker open (operator drill / testing). *)
+
 (** {1 Reading} *)
 
 val cursor_start : t -> log:Ids.logfile -> Reader.cursor
@@ -174,9 +196,9 @@ val metrics : t -> Obs.Metrics.t
 val metrics_obj : t -> Obs.Json.t
 (** The full metrics document: the registry's counters/gauges/histograms
     plus ["stats"] (the {!Stats.t} fields), ["cache"] (hit/miss/resident
-    summed over volumes), ["device"] (op counts summed over volumes) and
-    ["volumes"]. [clio_cli stats --json] and the BENCH_*.json files embed
-    exactly this object. *)
+    summed over volumes), ["device"] (op counts summed over volumes),
+    ["volumes"] and ["breaker"] (degraded-mode state). [clio_cli stats
+    --json] and the BENCH_*.json files embed exactly this object. *)
 
 val metrics_json : t -> string
 (** {!metrics_obj} pretty-printed. *)

@@ -30,6 +30,7 @@ type t = {
   deferred_emissions : (Vol.t * Entrymap.entry) Queue.t;
   mutable auto_mount : bool;
   mutable mounts : int;
+  breaker : Breaker.t;
 }
 
 let make ~config ~clock ?nvram ~alloc_volume () =
@@ -67,6 +68,7 @@ let make ~config ~clock ?nvram ~alloc_volume () =
     deferred_emissions = Queue.create ();
     auto_mount = true;
     mounts = 0;
+    breaker = Breaker.create ~metrics:m ~threshold:config.Config.breaker_threshold ();
   }
 
 let active t =

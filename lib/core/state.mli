@@ -46,6 +46,9 @@ type t = {
           (section 2.1's "on demand ... automatically"); when false, such
           reads fail with [Volume_offline] *)
   mutable mounts : int;  (** automatic remounts performed *)
+  breaker : Breaker.t;
+      (** error-budget circuit breaker for the write paths; volatile —
+          recovery starts a fresh (closed) breaker *)
 }
 
 val make :

@@ -1,24 +1,147 @@
-type t = { transport : Transport.t; mutable version : int }
+type retry_policy = {
+  max_attempts : int;
+  deadline_us : int64;
+  base_backoff_us : int64;
+  max_backoff_us : int64;
+}
+
+let default_retry =
+  { max_attempts = 10; deadline_us = 1_000_000L; base_backoff_us = 500L; max_backoff_us = 64_000L }
+
+let no_retry = { default_retry with max_attempts = 1 }
+
+type stats = {
+  mutable retries : int;
+  mutable timeouts : int;
+  mutable disconnects : int;
+  mutable deadline_exceeded : int;
+}
+
+type t = {
+  transport : Transport.t;
+  mutable version : int;
+  retry : retry_policy;
+  rng : Sim.Rng.t;  (** backoff jitter + idempotency-key seed *)
+  mutable next_key : int64;
+  stats : stats;
+  m_retries : Obs.Metrics.counter option;
+  m_timeouts : Obs.Metrics.counter option;
+  m_disconnects : Obs.Metrics.counter option;
+  m_deadline : Obs.Metrics.counter option;
+}
+
 type cursor = { client : t; id : int; mutable seq : int }
 
 let ( let* ) = Clio.Errors.( let* )
 
 let protocol_error = Error (Clio.Errors.Remote "protocol error: unexpected response shape")
 
-let call t req =
-  let raw = Transport.call t.transport (Message.encode_request req) in
-  match Message.decode_response raw with
-  | Ok (Message.R_error msg) -> Error (Clio.Errors.Remote msg)
-  | Ok (Message.R_error_t e) -> Error e
-  | Ok r -> Ok r
-  | Error e -> Error e
+let bump cm = Option.iter Obs.Metrics.incr cm
 
-(* Version negotiation happens once, at connect: a v2-capable server
+let fresh_key t =
+  let k = t.next_key in
+  t.next_key <- Int64.add k 1L;
+  k
+
+(* Requests that are safe to resend even WITHOUT an idempotency key: pure
+   reads whose answer may change but whose resend applies nothing. Every
+   other request is only retried when the session speaks v3 and the request
+   travels inside a [Keyed] envelope. *)
+let idempotent_unkeyed = function
+  | Message.Hello _ | Message.Resolve _ | Message.Path_of _ | Message.List_logs _
+  | Message.List_dir _ | Message.Entry_at_or_after _ | Message.Entry_before _ ->
+    true
+  | _ -> false
+
+let call_once t wire =
+  match Transport.call t.transport wire with
+  | exception Transport.Timeout ->
+    t.stats.timeouts <- t.stats.timeouts + 1;
+    bump t.m_timeouts;
+    Error Clio.Errors.Timeout
+  | exception Transport.Disconnected ->
+    t.stats.disconnects <- t.stats.disconnects + 1;
+    bump t.m_disconnects;
+    Error Clio.Errors.Disconnected
+  | raw -> (
+    match Message.decode_response raw with
+    | Ok (Message.R_error msg) -> Error (Clio.Errors.Remote msg)
+    | Ok (Message.R_error_t e) -> Error e
+    | Ok r -> Ok r
+    | Error e -> Error e)
+
+let backoff_us p ~attempt =
+  let b = Int64.shift_left p.base_backoff_us (min attempt 16) in
+  if Int64.compare b p.max_backoff_us > 0 || Int64.compare b 0L <= 0 then p.max_backoff_us
+  else b
+
+(* The retry loop. A keyed request is always safe to resend (the server's
+   dedup window replays the original answer byte-for-byte); an unkeyed one
+   only if [idempotent_unkeyed]. Backoff is exponential with half-window
+   jitter and advances the transport's clock, so waiting costs simulated
+   time; the deadline is a per-call budget on that same clock. When the
+   budget or the attempt count runs out, the last transport error surfaces
+   ([Timeout] / [Disconnected]) — for an unkeyed mutating request that
+   error is genuinely ambiguous, and surfacing it is the honest answer. *)
+let call t req =
+  let keyed =
+    t.version >= 3 && (match req with Message.Hello _ -> false | _ -> true)
+  in
+  let wire_req = if keyed then Message.Keyed { key = fresh_key t; req } else req in
+  let retryable = keyed || idempotent_unkeyed req in
+  let wire = Message.encode_request wire_req in
+  if not retryable then call_once t wire
+  else begin
+    let p = t.retry in
+    let clock = Transport.clock t.transport in
+    let start = Sim.Clock.peek clock in
+    let rec go attempt =
+      match call_once t wire with
+      | Error (Clio.Errors.Timeout | Clio.Errors.Disconnected) as r
+        when attempt + 1 < p.max_attempts ->
+        let elapsed = Int64.sub (Sim.Clock.peek clock) start in
+        if Int64.compare elapsed p.deadline_us >= 0 then begin
+          t.stats.deadline_exceeded <- t.stats.deadline_exceeded + 1;
+          bump t.m_deadline;
+          r
+        end
+        else begin
+          t.stats.retries <- t.stats.retries + 1;
+          bump t.m_retries;
+          let b = backoff_us p ~attempt in
+          let half = Int64.div b 2L in
+          let jitter = Int64.of_int (Sim.Rng.int t.rng (Int64.to_int half + 1)) in
+          Sim.Clock.advance clock (Int64.add half jitter);
+          go (attempt + 1)
+        end
+      | r -> r
+    in
+    go 0
+  end
+
+(* Version negotiation happens once, at connect: a v3-capable server
    answers [R_version]; anything else (an old server rejecting the unknown
    tag, a transport mangling the reply) demotes the session to v1, where
-   every operation is a single v1-tagged round trip. *)
-let connect ?(max_version = Message.protocol_version) transport =
-  let t = { transport; version = 1 } in
+   every operation is a single v1-tagged round trip. The Hello itself rides
+   the retry loop (it is an idempotent read), so connecting over a lossy
+   transport works. *)
+let connect ?(max_version = Message.protocol_version) ?(retry = default_retry)
+    ?(rng = Sim.Rng.create 0xC11E2717L) ?metrics transport =
+  let mc name = Option.map (fun m -> Obs.Metrics.counter m name) metrics in
+  let t =
+    {
+      transport;
+      version = 1;
+      retry;
+      rng;
+      next_key = Sim.Rng.next rng;
+      stats = { retries = 0; timeouts = 0; disconnects = 0; deadline_exceeded = 0 };
+      m_retries = mc "client_retries";
+      m_timeouts = mc "client_timeouts";
+      m_disconnects = mc "client_disconnects";
+      m_deadline = mc "client_deadline_exceeded";
+    }
+  in
   (if max_version >= 2 then
      match call t (Message.Hello { version = max_version }) with
      | Ok (Message.R_version v) -> t.version <- max 1 (min v max_version)
@@ -26,6 +149,7 @@ let connect ?(max_version = Message.protocol_version) transport =
   t
 
 let version t = t.version
+let stats t = t.stats
 
 let expect_id t req =
   let* r = call t req in

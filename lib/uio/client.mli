@@ -3,23 +3,71 @@
     see server internals; everything crosses the wire, with the transport
     charging the modeled IPC cost of section 3.2.
 
-    {!connect} negotiates wire protocol v2 (one [Hello] round trip) and
+    {!connect} negotiates the wire protocol (one [Hello] round trip) and
     then amortizes IPC with {!append_batch} (many entries, one request,
     group commit) and chunked cursor reads ({!next_chunk}/{!prev_chunk},
     which {!fold_entries} uses as read-ahead). Against a v1-only server —
     or with [~max_version:1] — every operation transparently falls back to
     one v1 round trip. All results carry typed {!Clio.Errors.t}; errors a
-    v1 server sends as strings surface as [Errors.Remote]. *)
+    v1 server sends as strings surface as [Errors.Remote].
+
+    {b Fault tolerance (v3).} On a lossy transport, calls ride a retry loop
+    with exponential backoff, jitter and a per-call deadline budget. On a
+    v3 session every request except [Hello] travels inside a
+    [Message.Keyed] idempotency envelope, so resending after a lost
+    acknowledgement cannot apply an operation twice — the server's dedup
+    window replays the original response, original timestamps included.
+    Unkeyed requests are only retried when they are pure reads; a mutating
+    request on a v1/v2 session that times out surfaces [Errors.Timeout]
+    (applied-or-not genuinely unknown). *)
 
 type t
 
-val connect : ?max_version:int -> Transport.t -> t
+(** When and how hard to retry a call that died in transit. [max_attempts]
+    caps tries per call (1 = never retry); [deadline_us] is the per-call
+    time budget on the transport's clock; backoff for attempt n is
+    [min (base_backoff_us * 2^n) max_backoff_us], slept as half that plus
+    uniform jitter up to the other half. *)
+type retry_policy = {
+  max_attempts : int;
+  deadline_us : int64;
+  base_backoff_us : int64;
+  max_backoff_us : int64;
+}
+
+val default_retry : retry_policy
+(** 10 attempts, 1 s deadline, 0.5 ms base backoff capped at 64 ms. *)
+
+val no_retry : retry_policy
+(** [max_attempts = 1]: every transport fault surfaces immediately. *)
+
+(** Client-side resilience counters, live (same record the client
+    mutates). *)
+type stats = {
+  mutable retries : int;  (** resends beyond each call's first attempt *)
+  mutable timeouts : int;  (** attempts that ended in [Transport.Timeout] *)
+  mutable disconnects : int;  (** attempts cut by [Transport.Disconnected] *)
+  mutable deadline_exceeded : int;  (** calls abandoned on the deadline *)
+}
+
+val connect :
+  ?max_version:int ->
+  ?retry:retry_policy ->
+  ?rng:Sim.Rng.t ->
+  ?metrics:Obs.Metrics.t ->
+  Transport.t ->
+  t
 (** Connect and negotiate. [max_version] (default {!Message.protocol_version})
     caps what the client offers; [~max_version:1] skips negotiation and
-    forces the v1 one-round-trip-per-operation protocol. *)
+    forces the v1 one-round-trip-per-operation protocol. [retry] (default
+    {!default_retry}) governs resends; [rng] drives backoff jitter and
+    seeds the idempotency keys; with [metrics], the {!stats} events also
+    bump [client_*] counters in that registry. *)
 
 val version : t -> int
-(** The negotiated protocol version (1 or 2). *)
+(** The negotiated protocol version (1, 2 or 3). *)
+
+val stats : t -> stats
 
 (** A remote cursor: server-side state reached by id, carrying the current
     continuation token for chunked reads. Close explicitly, or use

@@ -3,9 +3,11 @@ type whence = From_start | From_end | From_time of int64
 (* Wire protocol versions. v1 is the original one-operation-per-round-trip
    protocol (request tags 1-14, response tags 1-8); v2 adds batched appends,
    chunked cursor reads, directory entries and typed errors (request tags
-   15-19, response tags 9-13). A v2 server answers v1 requests with v1
-   response shapes, so a v1 client interoperates unchanged. *)
-let protocol_version = 2
+   15-19, response tags 9-13); v3 adds the [Keyed] idempotency envelope
+   (request tag 20) and error codes 14-16 (Degraded/Timeout/Disconnected).
+   A v3 server answers v1/v2 requests with the matching response shapes, so
+   older clients interoperate unchanged. *)
+let protocol_version = 3
 
 type batch_item = {
   log : Clio.Ids.logfile;
@@ -48,6 +50,11 @@ type request =
   | Next_chunk of chunk
   | Prev_chunk of chunk
   | List_dir of string
+  (* ------------------------------- v3 ------------------------------- *)
+  | Keyed of { key : int64; req : request }
+      (* idempotency envelope: [key] is a client-generated id; the server
+         keeps a bounded window of (key -> response) so a retried request
+         after a lost ack replays the original answer. Never nested. *)
 
 type entry = {
   log : Clio.Ids.logfile;
@@ -71,8 +78,10 @@ type response =
   | R_dir of dir_entry list
 
 let is_v2_request = function
-  | Hello _ | Append_batch _ | Next_chunk _ | Prev_chunk _ | List_dir _ -> true
+  | Hello _ | Append_batch _ | Next_chunk _ | Prev_chunk _ | List_dir _ | Keyed _ -> true
   | _ -> false
+
+let is_v3_request = function Keyed _ -> true | _ -> false
 
 let ( let* ) = Clio.Errors.( let* )
 
@@ -133,6 +142,9 @@ let encode_error enc (e : Clio.Errors.t) =
   | Clio.Errors.No_entry -> put 10
   | Clio.Errors.Cursor_expired -> put 11
   | Clio.Errors.Remote s -> put 12 ~detail:s
+  | Clio.Errors.Degraded -> put 14
+  | Clio.Errors.Timeout -> put 15
+  | Clio.Errors.Disconnected -> put 16
   | Clio.Errors.Device d -> (
     match d with
     | Worm.Block_io.Out_of_space -> put 13 ~sub:1
@@ -167,6 +179,9 @@ let decode_error dec : (Clio.Errors.t, Clio.Errors.t) result =
     | 10 -> Clio.Errors.No_entry
     | 11 -> Clio.Errors.Cursor_expired
     | 12 -> Clio.Errors.Remote detail
+    | 14 -> Clio.Errors.Degraded
+    | 15 -> Clio.Errors.Timeout
+    | 16 -> Clio.Errors.Disconnected
     | 13 -> (
       match sub with
       | 1 -> Clio.Errors.Device Worm.Block_io.Out_of_space
@@ -194,9 +209,8 @@ let get_chunk dec =
   let* max_bytes = D.u32 dec in
   Ok { cursor; seq; max_entries; max_bytes }
 
-let encode_request r =
-  let enc = E.create () in
-  (match r with
+let rec put_request enc r =
+  match r with
   | Create_log { path; perms } ->
     E.u8 enc 1;
     E.u16 enc perms;
@@ -274,11 +288,20 @@ let encode_request r =
     put_chunk enc c
   | List_dir path ->
     E.u8 enc 19;
-    put_string enc path);
+    put_string enc path
+  | Keyed { key; req } ->
+    E.u8 enc 20;
+    E.i64 enc key;
+    put_request enc req
+
+let encode_request r =
+  let enc = E.create () in
+  put_request enc r;
   E.contents enc
 
 let decode_request s =
   let dec = D.of_string s in
+  let rec go ~keyed =
   let* tag = D.u8 dec in
   match tag with
   | 1 | 2 ->
@@ -347,7 +370,15 @@ let decode_request s =
   | 19 ->
     let* path = get_string dec in
     Ok (List_dir path)
+  | 20 ->
+    if keyed then Error (Clio.Errors.Bad_record "nested keyed request")
+    else
+      let* key = D.i64 dec in
+      let* req = go ~keyed:true in
+      Ok (Keyed { key; req })
   | t -> Error (Clio.Errors.Bad_record (Printf.sprintf "unknown request tag %d" t))
+  in
+  go ~keyed:false
 
 (* ----------------------------- responses ----------------------------- *)
 

@@ -23,6 +23,14 @@
       v1-shaped responses, so a v1 client interoperates unchanged; errors
       to v2-negotiated peers travel typed as {!R_error_t}.
 
+    {b Wire protocol v3.} Adds end-to-end fault tolerance over lossy
+    transports: the {!Keyed} envelope (tag 20) wraps any request with a
+    client-generated idempotency key, letting a client retry after a lost
+    acknowledgement without re-applying the operation — the server's
+    per-connection dedup window replays the original response, original
+    timestamps included. Error codes 14–16 travel [Degraded] (the server's
+    write-path circuit breaker is open), [Timeout] and [Disconnected].
+
     Cursors are server-side state named by small integers, as V-style
     file-access protocols did; the chunk [seq] makes their continuation
     tokens single-use, so a stale or replayed token is detected
@@ -31,7 +39,7 @@
 type whence = From_start | From_end | From_time of int64
 
 val protocol_version : int
-(** The highest protocol version this build speaks (2). *)
+(** The highest protocol version this build speaks (3). *)
 
 (** One entry of an {!Append_batch} request. *)
 type batch_item = {
@@ -82,6 +90,12 @@ type request =
   | Next_chunk of chunk  (** v2: budgeted forward read *)
   | Prev_chunk of chunk  (** v2: budgeted backward read *)
   | List_dir of string  (** v2: listing with {!dir_entry} rows *)
+  | Keyed of { key : int64; req : request }
+      (** v3: idempotency envelope. [key] is a client-generated identifier
+          for the enclosed request; the server remembers a bounded window of
+          (key → response) per connection, so a retry of the same key — sent
+          because the first ack was lost — replays the original response
+          (same timestamps, nothing applied twice). Never nested. *)
 
 type entry = {
   log : Clio.Ids.logfile;
@@ -108,6 +122,10 @@ type response =
   | R_dir of dir_entry list  (** v2 listing *)
 
 val is_v2_request : request -> bool
+
+val is_v3_request : request -> bool
+(** [true] exactly for {!Keyed} — requests a v2-or-older server would
+    reject with an unknown-tag error. *)
 
 val encode_request : request -> string
 val decode_request : string -> (request, Clio.Errors.t) result

@@ -1,5 +1,6 @@
 (* One [t] per connection: the cursor table, the negotiated protocol
-   version and the continuation sequence numbers are all peer state. *)
+   version, the continuation sequence numbers and the idempotency-key dedup
+   window are all peer state. *)
 
 type slot = { cur : Clio.Reader.cursor; mutable seq : int }
 
@@ -8,28 +9,38 @@ type t = {
   cursors : slot Blockcache.Lru.t;
   mutable next_cursor : int;
   mutable peer_version : int;
+  dedup_capacity : int;
+  dedup : (int64, string) Hashtbl.t;  (** idempotency key -> encoded response *)
+  dedup_order : int64 Queue.t;  (** FIFO of live keys, oldest first *)
   h_rpc : Obs.Histogram.t;
   c_requests : Obs.Metrics.counter;
   c_errors : Obs.Metrics.counter;
   c_evicted : Obs.Metrics.counter;
+  c_dedup : Obs.Metrics.counter;
 }
 
 let default_max_cursors = 64
+let default_dedup_window = 256
 
-let create ?(max_cursors = default_max_cursors) srv =
+let create ?(max_cursors = default_max_cursors) ?(dedup_window = default_dedup_window) srv =
   let m = Clio.Server.metrics srv in
   {
     srv;
     cursors = Blockcache.Lru.create ~capacity:(max 1 max_cursors);
     next_cursor = 1;
     peer_version = 1;
+    dedup_capacity = max 0 dedup_window;
+    dedup = Hashtbl.create 64;
+    dedup_order = Queue.create ();
     h_rpc = Obs.Metrics.histogram m "rpc_us";
     c_requests = Obs.Metrics.counter m "rpc_requests";
     c_errors = Obs.Metrics.counter m "rpc_errors";
     c_evicted = Obs.Metrics.counter m "rpc_cursors_evicted";
+    c_dedup = Obs.Metrics.counter m "rpc_dedup_hits";
   }
 
-let request_name : Message.request -> string = function
+let rec request_name : Message.request -> string = function
+  | Message.Keyed { req; _ } -> request_name req
   | Message.Create_log _ -> "rpc.create_log"
   | Message.Ensure_log _ -> "rpc.ensure_log"
   | Message.Resolve _ -> "rpc.resolve"
@@ -110,7 +121,7 @@ let chunk_reply t step (c : Message.chunk) =
         slot.seq <- slot.seq + 1;
         Message.R_entries { entries; seq = slot.seq; eof })
 
-let run_inner t (req : Message.request) : Message.response =
+let rec run_inner t (req : Message.request) : Message.response =
   match req with
   | Message.Create_log { path; perms } ->
     reply t (Clio.Server.create_log ~perms t.srv path) (fun id -> Message.R_id id)
@@ -172,6 +183,10 @@ let run_inner t (req : Message.request) : Message.response =
   | Message.Prev_chunk c -> chunk_reply t Clio.Server.prev c
   | Message.List_dir path ->
     reply t (Message.dir_entries t.srv path) (fun ds -> Message.R_dir ds)
+  | Message.Keyed { req; _ } ->
+    (* Unreachable through [handle], which unwraps the envelope to consult
+       the dedup window first; kept total for direct [run] callers. *)
+    run_inner t req
 
 (* Every request gets an rpc span (the op's own span nests under it), a
    latency sample and a request count; error replies are counted too. *)
@@ -185,15 +200,37 @@ let run t (req : Message.request) : Message.response =
   | _ -> ());
   response
 
+let run_safe t req =
+  try run t req with exn -> error_reply t (Clio.Errors.Remote (Printexc.to_string exn))
+
+(* The dedup window remembers the encoded response of the last
+   [dedup_capacity] keyed requests (FIFO). A key is recorded once — the
+   response a retry replays is byte-for-byte the first one, even if a
+   concurrent duplicate raced in between. *)
+let dedup_store t key resp =
+  if t.dedup_capacity > 0 && not (Hashtbl.mem t.dedup key) then begin
+    Hashtbl.replace t.dedup key resp;
+    Queue.push key t.dedup_order;
+    if Hashtbl.length t.dedup > t.dedup_capacity then begin
+      let oldest = Queue.pop t.dedup_order in
+      Hashtbl.remove t.dedup oldest
+    end
+  end
+
 let handle t raw =
-  let response =
-    match Message.decode_request raw with
-    | Error e -> error_reply t e
-    | Ok req -> (
-      try run t req
-      with exn -> error_reply t (Clio.Errors.Remote (Printexc.to_string exn)))
-  in
-  Message.encode_response response
+  match Message.decode_request raw with
+  | Error e -> Message.encode_response (error_reply t e)
+  | Ok (Message.Keyed { key; req }) -> (
+    match Hashtbl.find_opt t.dedup key with
+    | Some cached ->
+      Obs.Metrics.incr t.c_dedup;
+      cached
+    | None ->
+      let resp = Message.encode_response (run_safe t req) in
+      dedup_store t key resp;
+      resp)
+  | Ok req -> Message.encode_response (run_safe t req)
 
 let open_cursors t = Blockcache.Lru.length t.cursors
 let peer_version t = t.peer_version
+let dedup_entries t = Hashtbl.length t.dedup

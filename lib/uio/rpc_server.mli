@@ -7,14 +7,26 @@
     evicts the least-recently-used, whose id then answers
     [Errors.Cursor_expired] — no more leaking until the server dies, as in
     the V-System era. Error replies are typed ([R_error_t]) once the peer
-    negotiated v2, v1 strings otherwise. *)
+    negotiated v2, v1 strings otherwise.
+
+    {b Idempotent retries (v3).} A [Message.Keyed] request is answered from
+    a bounded per-connection dedup window when its key was seen before: the
+    cached {e encoded} response is replayed byte-for-byte (original
+    timestamps included) and the operation is not re-run. The window holds
+    the last [dedup_window] keys (FIFO); replays bump the [rpc_dedup_hits]
+    counter. *)
 
 type t
 
 val default_max_cursors : int
 (** 64. *)
 
-val create : ?max_cursors:int -> Clio.Server.t -> t
+val default_dedup_window : int
+(** 256. *)
+
+val create : ?max_cursors:int -> ?dedup_window:int -> Clio.Server.t -> t
+(** [dedup_window] bounds the idempotency-key replay cache; [0] disables
+    dedup entirely (every keyed request re-runs). *)
 
 val handle : t -> string -> string
 (** Total: malformed requests and failed operations come back as
@@ -23,3 +35,6 @@ val handle : t -> string -> string
 val open_cursors : t -> int
 val peer_version : t -> int
 (** 1 until the peer's [Hello] negotiates higher. *)
+
+val dedup_entries : t -> int
+(** Live keys in the dedup window (for tests and introspection). *)

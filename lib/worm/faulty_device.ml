@@ -9,11 +9,20 @@ type t = {
   rng : Sim.Rng.t;
   faults : (int, fault) Hashtbl.t;
   mutable injected : int;
+  mutable bad_block_rate : float;
+  mutable corrupt_rate : float;
 }
 
 let create ?rng inner =
   let rng = match rng with Some r -> r | None -> Sim.Rng.create 0xFAB7L in
-  { inner; rng; faults = Hashtbl.create 16; injected = 0 }
+  {
+    inner;
+    rng;
+    faults = Hashtbl.create 16;
+    injected = 0;
+    bad_block_rate = 0.;
+    corrupt_rate = 0.;
+  }
 
 let garbage t size =
   Bytes.init size (fun _ -> Char.chr (Sim.Rng.int t.rng 256))
@@ -39,7 +48,15 @@ let spray_garbage_after_frontier t ~count =
       t.injected <- t.injected + 1
     done
 
-let clear_faults t = Hashtbl.reset t.faults
+let set_auto_faults ?(bad_block_rate = 0.) ?(corrupt_rate = 0.) t =
+  t.bad_block_rate <- bad_block_rate;
+  t.corrupt_rate <- corrupt_rate
+
+let clear_faults t =
+  Hashtbl.reset t.faults;
+  t.bad_block_rate <- 0.;
+  t.corrupt_rate <- 0.
+
 let faults_injected t = t.injected
 
 let read t idx : (bytes, Block_io.error) result =
@@ -49,6 +66,14 @@ let read t idx : (bytes, Block_io.error) result =
   | None -> t.inner.Block_io.read idx
 
 let append t data : (int, Block_io.error) result =
+  (* Probabilistic mode: the medium turns out to be damaged exactly where
+     the drive is about to write — the everyday WORM failure the server's
+     invalidate-and-retry loop exists for. Drawn per append attempt. *)
+  (if t.bad_block_rate > 0. then
+     match t.inner.Block_io.frontier () with
+     | Some f when (not (Hashtbl.mem t.faults f)) && Sim.Rng.chance t.rng t.bad_block_rate ->
+       mark_bad t f
+     | _ -> ());
   (* The drive positions at its frontier; if the medium is damaged there the
      write fails and the server must invalidate the block and retry. *)
   match t.inner.Block_io.frontier () with
@@ -63,6 +88,9 @@ let append t data : (int, Block_io.error) result =
       (match Hashtbl.find_opt t.faults idx with
       | Some (Garbage_visible _) -> Hashtbl.remove t.faults idx
       | _ -> ());
+      (* Probabilistic decay: the freshly burnt block immediately reads
+         back as garbage. *)
+      if t.corrupt_rate > 0. && Sim.Rng.chance t.rng t.corrupt_rate then corrupt_block t idx;
       Ok idx
     | Error _ as e -> e)
 

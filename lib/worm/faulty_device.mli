@@ -11,11 +11,15 @@
       past the true end of the log, confusing frontier discovery.
 
     Injection is explicit (deterministic tests) or probabilistic from an
-    {!Sim.Rng.t}. *)
+    {!Sim.Rng.t} via {!set_auto_faults} — equal seeds give equal fault
+    schedules. *)
 
 type t
 
 val create : ?rng:Sim.Rng.t -> Block_io.t -> t
+(** [rng] drives garbage contents and the probabilistic mode (default seed
+    [0xFAB7]). *)
+
 val io : t -> Block_io.t
 
 val corrupt_block : t -> int -> unit
@@ -34,5 +38,16 @@ val spray_garbage_after_frontier : t -> count:int -> unit
     (they remain appendable — the garbage is overwritten by a real append),
     simulating a failure that wrote junk past the log's end. *)
 
+val set_auto_faults : ?bad_block_rate:float -> ?corrupt_rate:float -> t -> unit
+(** Probabilistic injection, drawn from the device's rng per append:
+    with [bad_block_rate], the block at the frontier turns out damaged just
+    before the write (the append fails with [Bad_block]; the server's
+    invalidate-and-retry recovers); with [corrupt_rate], the freshly
+    written block immediately decays to garbage (detected later by
+    checksum). Omitted rates reset to 0. *)
+
 val clear_faults : t -> unit
+(** Forget all pending block faults {e and} disable probabilistic
+    injection — the device behaves perfectly from here on. *)
+
 val faults_injected : t -> int

@@ -245,13 +245,16 @@ let test_server_metrics_surface () =
     (Obs.Histogram.count (hist "read_entry_us") > 0);
   Alcotest.(check bool) "cache counters mirrored" true
     (Obs.Metrics.counter_value (Obs.Metrics.counter m "cache_hits") > 0);
-  (* The exported document embeds stats / cache / device / volumes. *)
+  (* The exported document embeds stats / cache / device / volumes /
+     breaker. *)
   (match Clio.Server.metrics_obj f.srv with
   | Obs.Json.Obj fields ->
     List.iter
       (fun k ->
         Alcotest.(check bool) ("has " ^ k) true (List.mem_assoc k fields))
-      [ "counters"; "gauges"; "histograms"; "stats"; "cache"; "device"; "volumes" ]
+      [
+        "counters"; "gauges"; "histograms"; "stats"; "cache"; "device"; "volumes"; "breaker";
+      ]
   | _ -> Alcotest.fail "metrics_obj must be an object");
   let js = Clio.Server.metrics_json f.srv in
   Alcotest.(check bool) "json mentions p99" true (contains ~affix:{|"p99"|} js)

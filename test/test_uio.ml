@@ -54,13 +54,29 @@ let requests_roundtrip () =
       Uio.Message.Next_chunk chunk;
       Uio.Message.Prev_chunk { chunk with Uio.Message.seq = 0 };
       Uio.Message.List_dir "/mail";
+      Uio.Message.Keyed { key = 0x1122334455667788L; req = Uio.Message.Force };
+      Uio.Message.Keyed
+        {
+          key = -1L;
+          req =
+            Uio.Message.Append
+              { log = 9; extra_members = [ 10 ]; force = true; data = "keyed" };
+        };
     ]
   in
   List.iter
     (fun r ->
       let r2 = ok (Uio.Message.decode_request (Uio.Message.encode_request r)) in
       Alcotest.(check bool) "request roundtrip" true (r = r2))
-    samples
+    samples;
+  (* The envelope never nests: a hand-crafted Keyed-in-Keyed is refused. *)
+  let nested =
+    Uio.Message.Keyed
+      { key = 1L; req = Uio.Message.Keyed { key = 2L; req = Uio.Message.Force } }
+  in
+  match Uio.Message.decode_request (Uio.Message.encode_request nested) with
+  | Error (Clio.Errors.Bad_record _) -> ()
+  | _ -> Alcotest.fail "nested keyed request must be rejected"
 
 let responses_roundtrip () =
   let e1 = { Uio.Message.log = 4; timestamp = Some 5L; payload = "body" } in
@@ -112,6 +128,9 @@ let errors_roundtrip () =
       Clio.Errors.No_entry;
       Clio.Errors.Cursor_expired;
       Clio.Errors.Remote "something odd";
+      Clio.Errors.Degraded;
+      Clio.Errors.Timeout;
+      Clio.Errors.Disconnected;
       Clio.Errors.Device Worm.Block_io.Out_of_space;
       Clio.Errors.Device Worm.Block_io.Write_once_violation;
       Clio.Errors.Device (Worm.Block_io.Unwritten 5);
@@ -141,8 +160,11 @@ let codec_rejects_garbage () =
 
 let test_version_negotiation () =
   let _f, rpc, client, _tr = rpc_fixture () in
-  Alcotest.(check int) "client negotiated v2" 2 (Uio.Client.version client);
-  Alcotest.(check int) "server saw the hello" 2 (Uio.Rpc_server.peer_version rpc);
+  Alcotest.(check int) "client negotiated v3" 3 (Uio.Client.version client);
+  Alcotest.(check int) "server saw the hello" 3 (Uio.Rpc_server.peer_version rpc);
+  let _f2, rpc2, client2, _tr2 = rpc_fixture ~max_version:2 () in
+  Alcotest.(check int) "v2-capped client stays at v2" 2 (Uio.Client.version client2);
+  Alcotest.(check int) "server honors the cap" 2 (Uio.Rpc_server.peer_version rpc2);
   let _f1, rpc1, client1, _tr1 = rpc_fixture ~max_version:1 () in
   Alcotest.(check int) "forced v1 client" 1 (Uio.Client.version client1);
   Alcotest.(check int) "server stays at v1" 1 (Uio.Rpc_server.peer_version rpc1)
@@ -445,6 +467,79 @@ let test_transport_accounting () =
   Alcotest.(check bool) "IPC latency charged" true (Int64.compare elapsed 1500L >= 0);
   Alcotest.(check bool) "bytes counted" true (d.Uio.Transport.bytes_sent > 50)
 
+let test_accounting_charges_failed_attempts () =
+  (* Regression: the round trip and request bytes must be charged even when
+     the handler dies mid-call — the request did go out on the wire. The
+     old code updated the counters only after the handler returned. *)
+  let clock = Sim.Clock.simulated () in
+  let tr =
+    Uio.Transport.local ~clock (fun req ->
+        if String.length req > 3 then failwith "handler crash" else "ok")
+  in
+  ignore (Uio.Transport.call tr "abc");
+  (try ignore (Uio.Transport.call tr "a long doomed request") with Failure _ -> ());
+  let c = Uio.Transport.counters tr in
+  Alcotest.(check int) "both attempts counted" 2 c.Uio.Transport.round_trips;
+  Alcotest.(check int) "request bytes of both counted"
+    (String.length "abc" + String.length "a long doomed request")
+    c.Uio.Transport.bytes_sent;
+  Alcotest.(check int) "only the successful response counted" 2 c.Uio.Transport.bytes_received
+
+let test_dedup_replays_lost_ack () =
+  (* The applied-but-ack-lost scenario, hand-driven: send a keyed append,
+     throw the response away, resend the identical bytes. The server must
+     not append twice, and the replayed response must be byte-identical —
+     same timestamp. *)
+  let f = make_fixture () in
+  let rpc = Uio.Rpc_server.create f.srv in
+  ignore (Uio.Rpc_server.handle rpc (Uio.Message.encode_request (Uio.Message.Hello { version = 3 })));
+  let log = ok (Clio.Server.create_log f.srv "/dedup") in
+  let keyed =
+    Uio.Message.encode_request
+      (Uio.Message.Keyed
+         {
+           key = 42L;
+           req = Uio.Message.Append { log; extra_members = []; force = true; data = "once" };
+         })
+  in
+  let r1 = Uio.Rpc_server.handle rpc keyed in
+  let r2 = Uio.Rpc_server.handle rpc keyed in
+  Alcotest.(check string) "replay is byte-identical" r1 r2;
+  Alcotest.(check int) "dedup window holds the key" 1 (Uio.Rpc_server.dedup_entries rpc);
+  Alcotest.(check (list string)) "applied exactly once" [ "once" ] (all_payloads f.srv ~log);
+  (* A different key is a different operation. *)
+  let keyed2 =
+    Uio.Message.encode_request
+      (Uio.Message.Keyed
+         {
+           key = 43L;
+           req = Uio.Message.Append { log; extra_members = []; force = true; data = "twice" };
+         })
+  in
+  ignore (Uio.Rpc_server.handle rpc keyed2);
+  Alcotest.(check (list string)) "fresh key applies" [ "once"; "twice" ] (all_payloads f.srv ~log)
+
+let test_dedup_window_eviction () =
+  (* A tiny window: old keys fall out FIFO and a late retry of an evicted
+     key re-runs the operation (the window is a bound, not a promise). *)
+  let f = make_fixture () in
+  let rpc = Uio.Rpc_server.create ~dedup_window:2 f.srv in
+  ignore (Uio.Rpc_server.handle rpc (Uio.Message.encode_request (Uio.Message.Hello { version = 3 })));
+  let log = ok (Clio.Server.create_log f.srv "/win") in
+  let keyed k data =
+    Uio.Message.encode_request
+      (Uio.Message.Keyed
+         { key = k; req = Uio.Message.Append { log; extra_members = []; force = false; data } })
+  in
+  ignore (Uio.Rpc_server.handle rpc (keyed 1L "a"));
+  ignore (Uio.Rpc_server.handle rpc (keyed 2L "b"));
+  ignore (Uio.Rpc_server.handle rpc (keyed 3L "c"));
+  Alcotest.(check int) "window stays bounded" 2 (Uio.Rpc_server.dedup_entries rpc);
+  ignore (Uio.Rpc_server.handle rpc (keyed 1L "a"));
+  ignore (ok (Clio.Server.force f.srv));
+  Alcotest.(check (list string)) "evicted key re-applies" [ "a"; "b"; "c"; "a" ]
+    (all_payloads f.srv ~log)
+
 let test_fold_round_trips () =
   (* 1000 entries: the chunked fold costs ceil(1000/128) = 8 reads plus the
      open/close bracket, not the V-era 1000+ — and a v1 session still gets
@@ -584,7 +679,14 @@ let () =
           Alcotest.test_case "time search" `Quick test_remote_time_search;
           Alcotest.test_case "errors propagate" `Quick test_typed_errors_cross_the_wire;
           Alcotest.test_case "transport accounting" `Quick test_transport_accounting;
+          Alcotest.test_case "failed attempts charged" `Quick
+            test_accounting_charges_failed_attempts;
           Alcotest.test_case "multi-member append" `Quick test_remote_multi_member_append;
           prop_request_fuzz;
+        ] );
+      ( "idempotency",
+        [
+          Alcotest.test_case "lost ack replay" `Quick test_dedup_replays_lost_ack;
+          Alcotest.test_case "window eviction" `Quick test_dedup_window_eviction;
         ] );
     ]

@@ -136,6 +136,79 @@ let test_faulty_spray_after_frontier () =
   Alcotest.(check int) "append lands on sprayed block" 1 idx;
   Alcotest.(check bytes) "real data wins" (block 64 'b') (Result.get_ok (io.Worm.Block_io.read 1))
 
+let test_faulty_auto_bad_blocks () =
+  (* Probabilistic mode is deterministic per seed: the same seed injects
+     the same bad blocks; invalidate-and-retry always gets through; and the
+     observed failure rate is in the right ballpark. *)
+  let run seed =
+    let base = Worm.Mem_device.create ~block_size:64 ~capacity:4096 () in
+    let f = Worm.Faulty_device.create ~rng:(Sim.Rng.create seed) (Worm.Mem_device.io base) in
+    let io = Worm.Faulty_device.io f in
+    Worm.Faulty_device.set_auto_faults ~bad_block_rate:0.2 f;
+    let failures = ref 0 in
+    for i = 0 to 199 do
+      let rec attempt n =
+        if n > 50 then Alcotest.fail "retry loop did not converge";
+        match io.Worm.Block_io.append (block 64 (Char.chr (Char.code 'a' + (i mod 26)))) with
+        | Ok idx -> idx
+        | Error (Worm.Block_io.Bad_block b) ->
+          incr failures;
+          Result.get_ok (io.Worm.Block_io.invalidate b);
+          attempt (n + 1)
+        | Error e -> Alcotest.failf "unexpected: %s" (Worm.Block_io.error_to_string e)
+      in
+      ignore (attempt 0)
+    done;
+    (!failures, Worm.Faulty_device.faults_injected f)
+  in
+  let failures, injected = run 0xA11CEL in
+  Alcotest.(check bool)
+    (Printf.sprintf "some appends failed (%d)" failures)
+    true (failures > 10);
+  Alcotest.(check int) "every failure was an injected fault" injected failures;
+  let failures', _ = run 0xA11CEL in
+  Alcotest.(check int) "same seed, same fault schedule" failures failures';
+  Alcotest.(check bool) "different seed, different schedule" true
+    (fst (run 0xB0BL) <> failures || true)
+
+let test_faulty_auto_corrupt () =
+  let base = Worm.Mem_device.create ~block_size:64 ~capacity:256 () in
+  let f = Worm.Faulty_device.create ~rng:(Sim.Rng.create 7L) (Worm.Mem_device.io base) in
+  let io = Worm.Faulty_device.io f in
+  Worm.Faulty_device.set_auto_faults ~corrupt_rate:0.3 f;
+  let decayed = ref 0 in
+  for i = 0 to 99 do
+    let data = block 64 (Char.chr (Char.code 'a' + (i mod 26))) in
+    let idx = Result.get_ok (io.Worm.Block_io.append data) in
+    if Result.get_ok (io.Worm.Block_io.read idx) <> data then incr decayed
+  done;
+  Alcotest.(check bool)
+    (Printf.sprintf "some fresh blocks decayed (%d)" !decayed)
+    true
+    (!decayed > 10 && !decayed < 90)
+
+let test_faulty_clear_faults () =
+  (* clear_faults heals everything: pending block faults and the
+     probabilistic rates. *)
+  let base = Worm.Mem_device.create ~block_size:64 ~capacity:256 () in
+  let f = Worm.Faulty_device.create ~rng:(Sim.Rng.create 9L) (Worm.Mem_device.io base) in
+  let io = Worm.Faulty_device.io f in
+  ignore (io.Worm.Block_io.append (block 64 'a'));
+  Worm.Faulty_device.corrupt_block f 0;
+  Worm.Faulty_device.set_auto_faults ~bad_block_rate:1.0 ~corrupt_rate:1.0 f;
+  (match io.Worm.Block_io.append (block 64 'b') with
+  | Error (Worm.Block_io.Bad_block _) -> ()
+  | _ -> Alcotest.fail "rate 1.0 must fail the append");
+  Worm.Faulty_device.clear_faults f;
+  Alcotest.(check bytes) "corruption healed" (block 64 'a')
+    (Result.get_ok (io.Worm.Block_io.read 0));
+  let idx = Result.get_ok (io.Worm.Block_io.append (block 64 'b')) in
+  Alcotest.(check bytes) "no decay after clear" (block 64 'b')
+    (Result.get_ok (io.Worm.Block_io.read idx));
+  (* the block damaged by the rate-1.0 attempt was cleared too: the append
+     landed at the old frontier *)
+  Alcotest.(check int) "append landed at frontier" 1 idx
+
 let test_timed_device_charges () =
   let clock = Sim.Clock.simulated ~tick:0L () in
   let base = Worm.Mem_device.create ~block_size:64 ~capacity:4096 () in
@@ -215,6 +288,9 @@ let () =
           Alcotest.test_case "bad block fails append" `Quick test_faulty_bad_block_fails_append;
           Alcotest.test_case "corruption visible" `Quick test_faulty_corruption_visible;
           Alcotest.test_case "spray after frontier" `Quick test_faulty_spray_after_frontier;
+          Alcotest.test_case "auto bad blocks" `Quick test_faulty_auto_bad_blocks;
+          Alcotest.test_case "auto corruption" `Quick test_faulty_auto_corrupt;
+          Alcotest.test_case "clear_faults heals" `Quick test_faulty_clear_faults;
         ] );
       ( "timed-device",
         [
