@@ -4,7 +4,7 @@
      dune exec bench/main.exe             run everything
      dune exec bench/main.exe -- table1   run one section
 
-   Section names: fig3 table1 write rpc fig4 space coldread chaos
+   Section names: fig3 table1 write rpc fig4 space coldread read chaos
                   ablate-n ablate-force ablate-locate ablate-fs ablate-sublog
                   ablations (all five) *)
 
@@ -17,6 +17,7 @@ let sections : (string * (unit -> unit)) list =
     ("fig4", Fig4.run);
     ("space", Space.run);
     ("coldread", Coldread.run);
+    ("read", Read_bench.run);
     ("ablate-n", Ablations.ablate_n);
     ("ablate-force", Ablations.ablate_force);
     ("ablate-locate", Ablations.ablate_locate);

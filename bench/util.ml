@@ -64,9 +64,12 @@ let recover f =
     (Clio.Server.recover ~config:f.config ~clock:f.clock ~nvram:f.nvram ~alloc_volume:f.alloc
        ~devices:(List.map Worm.Mem_device.io !(f.devices)) ())
 
+(* Both the block cache and the locate memo: "cold" rows must not be
+   silently warmed by memoized entrymap decodes or skip-index hits. *)
 let drop_caches srv =
   let st = Clio.Server.state srv in
-  Array.iter (fun v -> Blockcache.Cache.drop v.Clio.Vol.cache) st.Clio.State.vols
+  Array.iter (fun v -> Blockcache.Cache.drop v.Clio.Vol.cache) st.Clio.State.vols;
+  Clio.Read_memo.clear st.Clio.State.read_memo
 
 (* --------------------------- target planting --------------------------- *)
 

@@ -7,6 +7,8 @@ type t = {
   timestamp_all : bool;
   trace_ops : bool;
   breaker_threshold : int;
+  locate_memo : bool;
+  read_ahead_blocks : int;
 }
 
 let default =
@@ -19,6 +21,8 @@ let default =
     timestamp_all = true;
     trace_ops = false;
     breaker_threshold = 8;
+    locate_memo = true;
+    read_ahead_blocks = 8;
   }
 
 let validate t =
@@ -27,6 +31,8 @@ let validate t =
   else if t.block_size < 64 then Error (Errors.Bad_record "block size must be >= 64")
   else if t.entrymap_slack < 1 then Error (Errors.Bad_record "entrymap slack must be >= 1")
   else if t.cache_blocks < 1 then Error (Errors.Bad_record "cache must hold >= 1 block")
+  else if t.read_ahead_blocks < 0 || t.read_ahead_blocks > 1024 then
+    Error (Errors.Bad_record "read-ahead must be in [0, 1024] blocks")
   else Ok t
 
 let levels t ~capacity =

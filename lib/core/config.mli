@@ -23,12 +23,19 @@ type t = {
       (** Device append errors tolerated before the {!Breaker} trips the
           server into degraded (read-only) mode; [<= 0] disables tripping.
           Reset the budget with [clio admin breaker --reset]. *)
+  locate_memo : bool;
+      (** Memoize decoded entrymap entries and confirmed locate results so
+          repeated descents over settled storage touch no device blocks. *)
+  read_ahead_blocks : int;
+      (** How many predicted blocks a cursor prefetches in one batched device
+          read when it crosses a block boundary; [0] disables read-ahead. *)
 }
 
 val default : t
 (** 1 KB blocks, N = 16, 1024-block cache, NVRAM tail on, slack 4,
     timestamps on — the configuration of the paper's section 3.2/3.3
-    measurements — plus an 8-error breaker budget. *)
+    measurements — plus an 8-error breaker budget, locate memoization on,
+    and 8-block cursor read-ahead. *)
 
 val validate : t -> (t, Errors.t) result
 (** Checks structural constraints (fanout ≥ 2, block size large enough for a

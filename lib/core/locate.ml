@@ -10,7 +10,10 @@ let view st v idx =
   st.State.stats.Stats.locate_block_reads <- st.State.stats.Stats.locate_block_reads + 1;
   Vol.view_block v idx
 
-let read_map st v ~level ~boundary =
+(* Slack-window scan for the entrymap entry posted at [boundary]; also
+   reports the block index where it was found so the caller can decide
+   whether the result is a settled (memoizable) fact. *)
+let read_map_scan st v ~level ~boundary =
   let expected_base = boundary - Vol.pow_fanout v level in
   let slack = st.State.config.Config.entrymap_slack in
   let vol = vol_index_of st v in
@@ -38,7 +41,7 @@ let read_map st v ~level ~boundary =
               | Error _ -> scan_rec (i + 1)
               | Ok entry ->
                 if entry.Entrymap.level = level && entry.Entrymap.base = expected_base then
-                  Ok (Some entry)
+                  Ok (Some (entry, idx))
                 else scan_rec (i + 1)
             end
             else scan_rec (i + 1)
@@ -46,12 +49,43 @@ let read_map st v ~level ~boundary =
         in
         scan_rec 0
   in
-  (* Tolerate assembly failures on displaced candidates: fall through to
-     "missing" rather than failing the whole locate. *)
-  match scan_block boundary with
-  | Ok r -> Ok r
-  | Error (Errors.Corrupt_block _) | Error Errors.No_entry -> Ok None
-  | Error _ as e -> e
+  scan_block boundary
+
+(* Memoizing wrapper: every entrymap read goes through here, so a repeated
+   descent decodes each (level, boundary) entry at most once per generation.
+   Memoization rules for write-once media:
+   - a found entry is a settled fact once its block is below the device
+     frontier (the open tail may still be displaced on flush);
+   - absence is a settled fact only once the {e whole} slack window is below
+     the frontier — a deferred entry can still land inside a window that
+     overlaps unwritten blocks. *)
+let read_map st v ~level ~boundary =
+  let memo_on = st.State.config.Config.locate_memo in
+  let vol = vol_index_of st v in
+  let gen = !(v.Vol.read_gen) in
+  match
+    if memo_on then Read_memo.find_entry st.State.read_memo ~vol ~level ~boundary ~gen
+    else None
+  with
+  | Some cached ->
+    st.State.stats.Stats.entrymap_memo_hits <- st.State.stats.Stats.entrymap_memo_hits + 1;
+    Ok cached
+  | None -> (
+    (* Tolerate assembly failures on displaced candidates: fall through to
+       "missing" rather than failing the whole locate (and never memoize a
+       tolerated failure). *)
+    match read_map_scan st v ~level ~boundary with
+    | Ok (Some (entry, idx)) ->
+      if memo_on && idx < Vol.device_frontier v then
+        Read_memo.store_entry st.State.read_memo ~vol ~level ~boundary ~gen (Some entry);
+      Ok (Some entry)
+    | Ok None ->
+      let slack = st.State.config.Config.entrymap_slack in
+      if memo_on && boundary + slack <= Vol.device_frontier v then
+        Read_memo.store_entry st.State.read_memo ~vol ~level ~boundary ~gen None;
+      Ok None
+    | Error (Errors.Corrupt_block _) | Error Errors.No_entry -> Ok None
+    | Error _ as e -> e)
 
 let block_contains st v ~log idx =
   match view st v idx with
@@ -157,6 +191,56 @@ let rec search_down_next st v ~log ~level ~base ~from ~limit =
     try_group g_lo
   end
 
+(* -------------------- skip index (locate memoization) ----------------- *)
+
+(* A locate's verified answer over settled storage is an immutable fact:
+   blocks below the device frontier can never gain or lose log membership
+   except through invalidation (which bumps the volume generation). The two
+   wrappers below consult the skip index before running the full descent and
+   learn confirmed results afterwards — but only results strictly below the
+   frontier; the open tail re-answers through [tail_candidate], which is
+   always checked before these run. *)
+
+let memo_next st v ~log ~from compute =
+  if not st.State.config.Config.locate_memo then compute ()
+  else begin
+    let vol = vol_index_of st v in
+    let gen = !(v.Vol.read_gen) in
+    match Read_memo.find_next st.State.read_memo ~vol ~log ~from ~gen with
+    | Some b ->
+      st.State.stats.Stats.locate_memo_hits <- st.State.stats.Stats.locate_memo_hits + 1;
+      Ok (Some b)
+    | None ->
+      let r = compute () in
+      (match r with
+      | Ok (Some b) when b < Vol.device_frontier v ->
+        Read_memo.store_next st.State.read_memo ~vol ~log ~from ~gen b
+      | _ -> ());
+      r
+  end
+
+(* Prev links additionally key on the device frontier: a tail flush settles
+   a new highest block without bumping the generation, and a pre-flush
+   "greatest block < limit" answer must not survive it. *)
+let memo_prev st v ~log ~limit compute =
+  if not st.State.config.Config.locate_memo then compute ()
+  else begin
+    let vol = vol_index_of st v in
+    let frontier = Vol.device_frontier v in
+    let gen = !(v.Vol.read_gen) in
+    match Read_memo.find_prev st.State.read_memo ~vol ~log ~limit ~frontier ~gen with
+    | Some b ->
+      st.State.stats.Stats.locate_memo_hits <- st.State.stats.Stats.locate_memo_hits + 1;
+      Ok (Some b)
+    | None ->
+      let r = compute () in
+      (match r with
+      | Ok (Some b) when b < frontier ->
+        Read_memo.store_prev st.State.read_memo ~vol ~log ~limit ~frontier ~gen b
+      | _ -> ());
+      r
+  end
+
 (* ------------------------- previous direction ------------------------ *)
 
 (* Bottom-up, as the paper describes: examine the level-1 bitmap around the
@@ -170,6 +254,7 @@ let prev_block st v ~log ~before =
   if limit <= 1 then Ok None
   else if log = Ids.root then begin
     (* Every written block belongs to the volume-sequence log. *)
+    memo_prev st v ~log ~limit @@ fun () ->
     let rec down idx =
       if idx < 1 then Ok None
       else
@@ -183,6 +268,7 @@ let prev_block st v ~log ~before =
     match tail_candidate st v ~log with
     | Some t when t < before -> Ok (Some t)
     | Some _ | None ->
+      memo_prev st v ~log ~limit @@ fun () ->
       let top = Vol.levels v in
       (* Invariant: no matching block in [cur, limit). *)
       let rec climb level cur =
@@ -224,6 +310,7 @@ let next_block st v ~log ~from =
   let from = max from 1 in
   if from >= limit then Ok None
   else if log = Ids.root then begin
+    memo_next st v ~log ~from @@ fun () ->
     let rec up idx =
       if idx >= limit then Ok None
       else
@@ -234,6 +321,7 @@ let next_block st v ~log ~from =
     up from
   end
   else begin
+    memo_next st v ~log ~from @@ fun () ->
     let top = Vol.levels v in
     let check_tail () =
       match tail_candidate st v ~log with

@@ -12,13 +12,26 @@ type cursor = {
   mutable point : Assemble.position;
       (* [next] yields the first matching start record at or after [point];
          [prev] the last one strictly before it. *)
+  mutable ra_fwd : int * int;
+      (* (vol, block): don't issue another forward read-ahead batch in [vol]
+         until the cursor reaches [block] — the far edge of the last window. *)
+  mutable ra_back : int * int; (* same, for backward motion (near edge) *)
 }
 
 let ( let* ) = Errors.( let* )
 
 let log_of c = c.log
 
-let at_start st ~log = { st; log; point = { Assemble.vol = 0; block = 1; rec_index = 0 } }
+let no_window = (-1, 0)
+
+let at_start st ~log =
+  {
+    st;
+    log;
+    point = { Assemble.vol = 0; block = 1; rec_index = 0 };
+    ra_fwd = no_window;
+    ra_back = no_window;
+  }
 
 let at_end st ~log =
   let* v = State.active st in
@@ -35,9 +48,9 @@ let at_end st ~log =
       }
     else { Assemble.vol = nv - 1; block = Vol.written_limit v; rec_index = 0 }
   in
-  Ok { st; log; point }
+  Ok { st; log; point; ra_fwd = no_window; ra_back = no_window }
 
-let at_position st ~log pos = { st; log; point = pos }
+let at_position st ~log pos = { st; log; point = pos; ra_fwd = no_window; ra_back = no_window }
 
 let make_entry c (header : Header.t) payload pos =
   c.st.State.stats.Stats.entries_read <- c.st.State.stats.Stats.entries_read + 1;
@@ -48,6 +61,67 @@ let make_entry c (header : Header.t) payload pos =
     payload;
     pos;
   }
+
+(* --------------------------- read-ahead --------------------------- *)
+
+(* When a cursor crosses a block boundary and the entrymap names its next
+   block, prefetch the K blocks the cursor is likely to visit after it in
+   one batched device read: confirmed skip-index links when the path has
+   been walked before, plain sequential neighbours otherwise. Prefetching is
+   restricted to settled blocks and to cache misses, and failures are
+   ignored — the per-block read path re-reports them with full context. *)
+let read_ahead c ~vol ~(v : Vol.t) ~anchor ~dir =
+  let k = c.st.State.config.Config.read_ahead_blocks in
+  (* One batch per K-block window, not one per crossing: the cursor crosses a
+     boundary at every block, and re-issuing there would top the window up one
+     block at a time — a full seek per block, costing more than it saves. The
+     cursor remembers the far edge of its last window and refires only when it
+     gets there (or jumps elsewhere). *)
+  let window_due =
+    match dir with
+    | `Fwd ->
+      let rv, edge = c.ra_fwd in
+      rv <> vol || anchor >= edge
+    | `Back ->
+      let rv, edge = c.ra_back in
+      rv <> vol || anchor <= edge
+  in
+  if k > 0 && window_due then begin
+    let gen = !(v.Vol.read_gen) in
+    let frontier = Vol.device_frontier v in
+    let predicted =
+      match dir with
+      | `Fwd -> (
+        match
+          Read_memo.predict_next c.st.State.read_memo ~vol ~log:c.log ~from:(anchor + 1) ~gen ~k
+        with
+        | [] -> List.init k (fun i -> anchor + 1 + i)
+        | chain -> chain)
+      | `Back -> (
+        match
+          Read_memo.predict_prev c.st.State.read_memo ~vol ~log:c.log ~before:anchor ~frontier
+            ~gen ~k
+        with
+        | [] -> List.init k (fun i -> anchor - k + i)
+        | chain -> List.rev chain (* ascending, for contiguous-run batching *))
+    in
+    let wanted =
+      anchor :: predicted
+      |> List.filter (fun i ->
+             i >= 1 && i < frontier && not (Blockcache.Cache.contains v.Vol.cache i))
+      |> List.sort_uniq compare
+    in
+    (match dir with
+    | `Fwd -> c.ra_fwd <- (vol, anchor + k)
+    | `Back -> c.ra_back <- (vol, anchor - k));
+    if wanted <> [] then begin
+      c.st.State.stats.Stats.readahead_batches <-
+        c.st.State.stats.Stats.readahead_batches + 1;
+      c.st.State.stats.Stats.readahead_blocks <-
+        c.st.State.stats.Stats.readahead_blocks + List.length wanted;
+      ignore (Worm.Block_io.read_many v.Vol.io wanted)
+    end
+  end
 
 (* ------------------------------ next ------------------------------ *)
 
@@ -70,6 +144,7 @@ let rec next_inner c : (entry option, Errors.t) result =
       match b with
       | None -> if p.Assemble.vol + 1 < State.nvols c.st then advance_volume () else Ok None
       | Some b ->
+        read_ahead c ~vol:p.Assemble.vol ~v ~anchor:b ~dir:`Fwd;
         c.point <- { p with block = b };
         scan_block c
     end
@@ -142,6 +217,7 @@ let rec prev_inner c : (entry option, Errors.t) result =
       let* b = Locate.prev_block c.st v ~log:c.log ~before:block in
       match b with
       | Some b ->
+        read_ahead c ~vol:p.Assemble.vol ~v ~anchor:b ~dir:`Back;
         c.point <- { p with block = b; rec_index = max_int };
         scan_block_back c
       | None -> retreat_volume ()

@@ -312,6 +312,37 @@ let cache_totals st =
       (h + Blockcache.Cache.hits c, m + Blockcache.Cache.misses c, r + Blockcache.Cache.resident c))
     (0, 0, 0) st.State.vols
 
+(* Per-partition aggregate across all mounted volumes' segmented caches. *)
+let segment_totals st =
+  Array.fold_left
+    (fun (acc : Blockcache.Cache.segment_stats) v ->
+      let s = Blockcache.Cache.segments v.Vol.cache in
+      {
+        Blockcache.Cache.meta_hits = acc.meta_hits + s.Blockcache.Cache.meta_hits;
+        meta_misses = acc.meta_misses + s.Blockcache.Cache.meta_misses;
+        data_hits = acc.data_hits + s.Blockcache.Cache.data_hits;
+        data_misses = acc.data_misses + s.Blockcache.Cache.data_misses;
+        meta_resident = acc.meta_resident + s.Blockcache.Cache.meta_resident;
+        probation_resident = acc.probation_resident + s.Blockcache.Cache.probation_resident;
+        protected_resident = acc.protected_resident + s.Blockcache.Cache.protected_resident;
+        meta_evictions = acc.meta_evictions + s.Blockcache.Cache.meta_evictions;
+        data_evictions = acc.data_evictions + s.Blockcache.Cache.data_evictions;
+        promotions = acc.promotions + s.Blockcache.Cache.promotions;
+      })
+    {
+      Blockcache.Cache.meta_hits = 0;
+      meta_misses = 0;
+      data_hits = 0;
+      data_misses = 0;
+      meta_resident = 0;
+      probation_resident = 0;
+      protected_resident = 0;
+      meta_evictions = 0;
+      data_evictions = 0;
+      promotions = 0;
+    }
+    st.State.vols
+
 let device_totals st =
   let acc = Worm.Dev_stats.create () in
   Array.iter
@@ -343,7 +374,24 @@ let metrics_obj st =
       @ [
           ("stats", Stats.to_json st.State.stats);
           ( "cache",
-            Obj [ ("hits", Int hits); ("misses", Int misses); ("resident", Int resident) ] );
+            let s = segment_totals st in
+            Obj
+              [
+                ("hits", Int hits);
+                ("misses", Int misses);
+                ("resident", Int resident);
+                ("meta_hits", Int s.Blockcache.Cache.meta_hits);
+                ("meta_misses", Int s.Blockcache.Cache.meta_misses);
+                ("data_hits", Int s.Blockcache.Cache.data_hits);
+                ("data_misses", Int s.Blockcache.Cache.data_misses);
+                ("meta_resident", Int s.Blockcache.Cache.meta_resident);
+                ("probation_resident", Int s.Blockcache.Cache.probation_resident);
+                ("protected_resident", Int s.Blockcache.Cache.protected_resident);
+                ("meta_evictions", Int s.Blockcache.Cache.meta_evictions);
+                ("data_evictions", Int s.Blockcache.Cache.data_evictions);
+                ("promotions", Int s.Blockcache.Cache.promotions);
+              ] );
+          ("read_memo", Obj [ ("resident", Int (Read_memo.resident st.State.read_memo)) ]);
           ( "device",
             Obj
               [
@@ -365,7 +413,13 @@ let metrics_json st = Obs.Json.to_string_pretty (metrics_obj st)
 let dump_metrics ppf st =
   Obs.Metrics.pp ppf (metrics st);
   let hits, misses, resident = cache_totals st in
-  Format.fprintf ppf "@\ncache: hits=%d misses=%d resident=%d" hits misses resident;
+  let s = segment_totals st in
+  Format.fprintf ppf
+    "@\ncache: hits=%d misses=%d resident=%d (meta %d/%d, probation %d, protected %d, promotions %d)"
+    hits misses resident s.Blockcache.Cache.meta_hits s.Blockcache.Cache.meta_misses
+    s.Blockcache.Cache.probation_resident s.Blockcache.Cache.protected_resident
+    s.Blockcache.Cache.promotions;
+  Format.fprintf ppf "@\nread_memo: resident=%d" (Read_memo.resident st.State.read_memo);
   let d = device_totals st in
   Format.fprintf ppf "@\ndevice: %a" Worm.Dev_stats.pp d;
   Format.fprintf ppf "@\nbreaker: %a" Breaker.pp st.State.breaker

@@ -193,10 +193,15 @@ val state : t -> State.t
 val obs : t -> Obs.t
 val metrics : t -> Obs.Metrics.t
 
+val segment_totals : t -> Blockcache.Cache.segment_stats
+(** Per-partition cache counters (meta / probation / protected) summed over
+    all mounted volumes. *)
+
 val metrics_obj : t -> Obs.Json.t
 (** The full metrics document: the registry's counters/gauges/histograms
     plus ["stats"] (the {!Stats.t} fields), ["cache"] (hit/miss/resident
-    summed over volumes), ["device"] (op counts summed over volumes),
+    and per-partition counters summed over volumes), ["read_memo"]
+    (memoized-fact residency), ["device"] (op counts summed over volumes),
     ["volumes"] and ["breaker"] (degraded-mode state). [clio_cli stats
     --json] and the BENCH_*.json files embed exactly this object. *)
 

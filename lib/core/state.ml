@@ -19,6 +19,7 @@ type t = {
   stats : Stats.t;
   obs : Obs.t;
   probes : probes;
+  read_memo : Read_memo.t;
   nvram : Worm.Nvram.t option;
   alloc_volume : vol_index:int -> (Worm.Block_io.t, Errors.t) result;
   mutable vols : Vol.t array;
@@ -57,6 +58,7 @@ let make ~config ~clock ?nvram ~alloc_volume () =
     stats = Stats.create ();
     obs;
     probes;
+    read_memo = Read_memo.create ();
     nvram;
     alloc_volume;
     vols = [||];

@@ -22,6 +22,9 @@ type t = {
   stats : Stats.t;
   obs : Obs.t;  (** metrics registry + tracer, clocked by [clock] *)
   probes : probes;
+  read_memo : Read_memo.t;
+      (** memoized entrymap decodes + per-log skip index; staleness is
+          handled via each volume's [read_gen] (see {!Vol.t}) *)
   nvram : Worm.Nvram.t option;
   alloc_volume : vol_index:int -> (Worm.Block_io.t, Errors.t) result;
       (** hands out a fresh device when the active volume fills *)

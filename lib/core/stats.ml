@@ -22,6 +22,10 @@ type t = {
   mutable recoveries : int;
   mutable frontier_probe_reads : int;
   mutable recovery_blocks_examined : int;
+  mutable locate_memo_hits : int;
+  mutable entrymap_memo_hits : int;
+  mutable readahead_batches : int;
+  mutable readahead_blocks : int;
 }
 
 let create () =
@@ -49,6 +53,10 @@ let create () =
     recoveries = 0;
     frontier_probe_reads = 0;
     recovery_blocks_examined = 0;
+    locate_memo_hits = 0;
+    entrymap_memo_hits = 0;
+    readahead_batches = 0;
+    readahead_blocks = 0;
   }
 
 (* The single source of truth relating field names to accessors, in
@@ -89,6 +97,10 @@ let field_specs : (string * (t -> int) * (t -> int -> unit)) list =
     ( "recovery_blocks_examined",
       (fun t -> t.recovery_blocks_examined),
       fun t v -> t.recovery_blocks_examined <- v );
+    ("locate_memo_hits", (fun t -> t.locate_memo_hits), fun t v -> t.locate_memo_hits <- v);
+    ("entrymap_memo_hits", (fun t -> t.entrymap_memo_hits), fun t v -> t.entrymap_memo_hits <- v);
+    ("readahead_batches", (fun t -> t.readahead_batches), fun t v -> t.readahead_batches <- v);
+    ("readahead_blocks", (fun t -> t.readahead_blocks), fun t v -> t.readahead_blocks <- v);
   ]
 
 let fields t = List.map (fun (name, get, _) -> (name, get t)) field_specs

@@ -32,6 +32,11 @@ type t = {
   mutable recoveries : int;
   mutable frontier_probe_reads : int;
   mutable recovery_blocks_examined : int;  (** Figure 4 *)
+  (* read-path memoization and read-ahead *)
+  mutable locate_memo_hits : int;  (** prev/next answered by the skip index *)
+  mutable entrymap_memo_hits : int;  (** entrymap decodes answered memoized *)
+  mutable readahead_batches : int;  (** batched prefetches issued by cursors *)
+  mutable readahead_blocks : int;  (** blocks requested across those batches *)
 }
 
 val create : unit -> t

@@ -9,13 +9,37 @@ type t = {
   mutable tail_open : bool;
   mutable sealed : bool;
   mutable online : bool;
+  read_gen : int ref;
 }
+
+(* Partition hint for the segmented cache: entrymap (and other internal)
+   blocks are the interior nodes every locate descends through — they go to
+   the meta partition so a data scan can never displace them. The first
+   record of a block starts at offset 0, so one header decode suffices. *)
+let classify_block b =
+  match Header.decode b ~pos:0 with
+  | Ok (h, _) when Ids.is_internal h.Header.logfile -> Blockcache.Cache.Meta
+  | Ok _ | Error _ -> Blockcache.Cache.Data
 
 let make ~config ?metrics ~hdr dev =
   let cache =
-    Blockcache.Cache.create ~capacity_blocks:config.Config.cache_blocks ?metrics dev
+    Blockcache.Cache.create ~capacity_blocks:config.Config.cache_blocks
+      ~classify:classify_block ?metrics dev
   in
-  let io = Blockcache.Cache.io cache in
+  let cache_io = Blockcache.Cache.io cache in
+  (* Invalidation is the only way a settled block's contents can change on
+     write-once media; bumping the generation here lazily flushes every
+     read-path memo entry for this volume. *)
+  let read_gen = ref 0 in
+  let io =
+    {
+      cache_io with
+      Worm.Block_io.invalidate =
+        (fun idx ->
+          incr read_gen;
+          cache_io.Worm.Block_io.invalidate idx);
+    }
+  in
   let levels = Config.levels config ~capacity:hdr.Volume.capacity in
   {
     hdr;
@@ -28,6 +52,7 @@ let make ~config ?metrics ~hdr dev =
     tail_open = false;
     sealed = false;
     online = true;
+    read_gen;
   }
 
 let levels t = Entrymap.Pending.levels t.pending

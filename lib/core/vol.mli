@@ -19,6 +19,10 @@ type t = {
   mutable online : bool;
       (** mounted and readable; old volumes of a sequence may be shelved
           (section 2.1) and remounted on demand *)
+  read_gen : int ref;
+      (** Bumped on every block invalidation — the only event that can make
+          a memoized fact about settled storage stale. {!Read_memo} entries
+          are stamped with this and lazily dropped when it moves. *)
 }
 
 val make :

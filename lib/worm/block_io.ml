@@ -22,12 +22,33 @@ type t = {
   block_size : int;
   capacity : int;
   read : int -> (bytes, error) result;
+  read_many : (int list -> (bytes, error) result list) option;
   append : bytes -> (int, error) result;
   invalidate : int -> (unit, error) result;
   frontier : unit -> int option;
   flush : unit -> (unit, error) result;
   stats : Dev_stats.t;
 }
+
+let read_many t idxs =
+  match t.read_many with Some f -> f idxs | None -> List.map t.read idxs
+
+(* Maximal runs of consecutive indices in an ascending list: one head
+   movement serves a whole run on devices that charge per seek. *)
+let contiguous_runs idxs =
+  match idxs with
+  | [] -> []
+  | first :: rest ->
+    let runs, last =
+      List.fold_left
+        (fun (runs, run) idx ->
+          match run with
+          | hd :: _ when idx = hd + 1 -> (runs, idx :: run)
+          | _ -> (List.rev run :: runs, [ idx ]))
+        ([], [ first ])
+        rest
+    in
+    List.rev (List.rev last :: runs)
 
 let is_invalidated_pattern b =
   let n = Bytes.length b in

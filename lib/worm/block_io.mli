@@ -31,8 +31,14 @@ type t = {
   block_size : int;
   capacity : int;  (** total blocks on the medium *)
   read : int -> (bytes, error) result;
-      (** [read idx] returns a fresh or shared buffer holding block [idx].
-          Callers must not mutate it. *)
+      (** [read idx] returns a {e private} buffer holding block [idx]: the
+          caller owns it and may mutate it freely. Implementations must not
+          hand out their live backing storage. *)
+  read_many : (int list -> (bytes, error) result list) option;
+      (** Optional batched read: one result per requested index, in order.
+          Devices that charge per head movement serve each contiguous run of
+          indices with a single seek; [None] means the device has no native
+          batch path and {!val-read_many} falls back to a [read] loop. *)
   append : bytes -> (int, error) result;
       (** [append data] writes [data] (exactly [block_size] bytes) at the
           frontier and returns the block index used. *)
@@ -47,6 +53,15 @@ type t = {
   flush : unit -> (unit, error) result;
   stats : Dev_stats.t;
 }
+
+val read_many : t -> int list -> (bytes, error) result list
+(** [read_many t idxs] reads each index, using the device's native batch op
+    when it has one and a [read] loop otherwise. Results align with [idxs]. *)
+
+val contiguous_runs : int list -> int list list
+(** Split an ascending index list into maximal runs of consecutive indices
+    ([\[3;4;5;9;10\]] → [\[\[3;4;5\];\[9;10\]\]]) — the unit a seek-charging
+    device serves per head movement. *)
 
 val is_invalidated_pattern : bytes -> bool
 (** [is_invalidated_pattern b] is true iff [b] is all 0xFF. *)

@@ -108,6 +108,10 @@ let io t : Block_io.t =
   {
     t.inner with
     read = read t;
+    (* No native batch path: inheriting the inner device's [read_many] would
+       let batched reads bypass fault injection. The fallback loop routes
+       every block through [read] above. *)
+    read_many = None;
     append = append t;
     invalidate = invalidate t;
   }

@@ -121,6 +121,37 @@ let read t idx : (bytes, Block_io.error) result =
           t.stats.Dev_stats.bytes_read <- t.stats.Dev_stats.bytes_read + t.block_size;
           Ok b)
 
+(* Batched read: indices that are consecutive, in range and all plainly
+   written are served with one pread per contiguous run; anything else
+   (unwritten, invalidated, out of range) falls back to the per-block path
+   so every error case stays identical to [read]. *)
+let read_many t idxs : (bytes, Block_io.error) result list =
+  let plain idx =
+    idx >= 0 && idx < t.capacity
+    && Bytes.get t.state idx <> '\000'
+    && Bytes.get t.state idx <> '\002'
+  in
+  let run_results run =
+    if List.length run > 1 && List.for_all plain run then begin
+      let first = List.hd run in
+      let n = List.length run in
+      match
+        wrap_io (fun () -> Ok (pread t.fd ~off:(data_offset t first) (n * t.block_size)))
+      with
+      | Ok big ->
+        List.mapi
+          (fun i idx ->
+            t.stats.Dev_stats.reads <- t.stats.Dev_stats.reads + 1;
+            t.stats.Dev_stats.bytes_read <- t.stats.Dev_stats.bytes_read + t.block_size;
+            ignore idx;
+            Ok (Bytes.sub big (i * t.block_size) t.block_size))
+          run
+      | Error _ -> List.map (read t) run
+    end
+    else List.map (read t) run
+  in
+  List.concat_map run_results (Block_io.contiguous_runs idxs)
+
 let append t data : (int, Block_io.error) result =
   t.stats.Dev_stats.appends <- t.stats.Dev_stats.appends + 1;
   if Bytes.length data <> t.block_size then Error (Wrong_size (Bytes.length data))
@@ -155,6 +186,7 @@ let io t : Block_io.t =
     block_size = t.block_size;
     capacity = t.capacity;
     read = read t;
+    read_many = Some (read_many t);
     append = append t;
     invalidate = invalidate t;
     frontier = frontier t;

@@ -28,6 +28,9 @@ let rec settle_frontier t =
       t.frontier <- t.frontier + 1;
       settle_frontier t
 
+(* Reads return a private copy, never the live slot buffer: Block_io.read's
+   contract lets callers mutate the result, and handing out the backing
+   array would let that mutation corrupt every later read of the block. *)
 let read t idx : (bytes, Block_io.error) result =
   t.stats.Dev_stats.reads <- t.stats.Dev_stats.reads + 1;
   if idx < 0 || idx >= t.capacity then Error (Out_of_range idx)
@@ -36,10 +39,12 @@ let read t idx : (bytes, Block_io.error) result =
     | Unwritten -> Error (Unwritten idx)
     | Written b ->
       t.stats.Dev_stats.bytes_read <- t.stats.Dev_stats.bytes_read + Bytes.length b;
-      Ok b
+      Ok (Bytes.copy b)
     | Invalidated ->
       t.stats.Dev_stats.bytes_read <- t.stats.Dev_stats.bytes_read + t.block_size;
       Ok (Block_io.invalidated_block t.block_size)
+
+let read_many t idxs = List.map (read t) idxs
 
 let append t data : (int, Block_io.error) result =
   t.stats.Dev_stats.appends <- t.stats.Dev_stats.appends + 1;
@@ -77,6 +82,7 @@ let io t : Block_io.t =
     block_size = t.block_size;
     capacity = t.capacity;
     read = read t;
+    read_many = Some (read_many t);
     append = append t;
     invalidate = invalidate t;
     frontier = (fun () -> frontier t);

@@ -47,6 +47,9 @@ let io t : Block_io.t =
   {
     t.primary with
     read = read t;
+    (* Inheriting the primary's [read_many] would skip replica fallback on
+       damaged blocks; the loop fallback keeps every read validated. *)
+    read_many = None;
     append = append t;
     invalidate = invalidate t;
     frontier = t.primary.Block_io.frontier;

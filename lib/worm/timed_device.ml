@@ -6,6 +6,7 @@ type t = {
   mutable read_head : int;
   mutable write_head : int;
   mutable busy_us : int64;
+  mutable seeks : int;
   h_read_us : Obs.Histogram.t option;
   h_write_us : Obs.Histogram.t option;
 }
@@ -21,6 +22,7 @@ let create ~clock ~model ?(separate_heads = true) ?metrics inner =
     read_head = 0;
     write_head = 0;
     busy_us = 0L;
+    seeks = 0;
     h_read_us;
     h_write_us;
   }
@@ -34,6 +36,7 @@ let sample h us = match h with Some h -> Obs.Histogram.record h (Int64.to_int us
 let charge_read t idx bytes =
   let dist = abs (idx - t.read_head) in
   t.read_head <- idx;
+  t.seeks <- t.seeks + 1;
   let us =
     Int64.add (t.model.Sim.Seek_model.seek_us ~dist) (t.model.Sim.Seek_model.transfer_us ~bytes)
   in
@@ -45,6 +48,7 @@ let charge_write t idx bytes =
   let dist = abs (idx - from) in
   t.write_head <- idx;
   if not t.separate_heads then t.read_head <- idx;
+  t.seeks <- t.seeks + 1;
   let us =
     Int64.add (t.model.Sim.Seek_model.seek_us ~dist) (t.model.Sim.Seek_model.transfer_us ~bytes)
   in
@@ -60,6 +64,33 @@ let read t idx =
     (* A failed read still seeks. *)
     charge_read t idx 0;
     e
+
+(* Batched read: each contiguous run of indices costs one seek (to its first
+   block) plus the transfer of every block actually read — the head sweeps
+   the run without repositioning. This is the device-level half of the
+   read-ahead story: K predicted blocks fetched in one batch cost one head
+   movement instead of K. *)
+let read_many t idxs =
+  let run_results run =
+    let results = List.map t.inner.Block_io.read run in
+    let first = List.hd run in
+    let dist = abs (first - t.read_head) in
+    t.read_head <- List.nth run (List.length run - 1);
+    t.seeks <- t.seeks + 1;
+    let bytes =
+      List.fold_left
+        (fun acc r -> match r with Ok b -> acc + Bytes.length b | Error _ -> acc)
+        0 results
+    in
+    let us =
+      Int64.add (t.model.Sim.Seek_model.seek_us ~dist)
+        (t.model.Sim.Seek_model.transfer_us ~bytes)
+    in
+    sample t.h_read_us us;
+    charge t us;
+    results
+  in
+  List.concat_map run_results (Block_io.contiguous_runs idxs)
 
 let append t data =
   match t.inner.Block_io.append data with
@@ -79,9 +110,11 @@ let io t : Block_io.t =
   {
     t.inner with
     read = read t;
+    read_many = Some (read_many t);
     append = append t;
     invalidate = invalidate t;
   }
 
 let busy_us t = t.busy_us
 let head_position t = t.read_head
+let seeks t = t.seeks

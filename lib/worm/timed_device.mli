@@ -27,3 +27,7 @@ val busy_us : t -> int64
 
 val head_position : t -> int
 (** Current read-head block position. *)
+
+val seeks : t -> int
+(** Head movements charged so far: one per single-block read/write, one per
+    contiguous run served by the batched [read_many] path. *)

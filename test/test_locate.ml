@@ -160,6 +160,127 @@ let test_read_map_at_boundary () =
     Alcotest.(check bool) "mentions /a" true (List.mem_assoc a e.Clio.Entrymap.maps)
   | None -> Alcotest.fail "expected a level-1 entrymap entry at block 8"
 
+(* ------------------------- read-path memoization ------------------------- *)
+
+(* Drop only the block cache, keeping the locate memo: this is the state the
+   memo exists for — the facts survive even when the buffers do not. *)
+let drop_block_caches_only f =
+  let st = Clio.Server.state f.srv in
+  Array.iter (fun v -> Blockcache.Cache.drop v.Clio.Vol.cache) st.Clio.State.vols
+
+let dev_reads f =
+  List.fold_left
+    (fun acc io -> acc + io.Worm.Block_io.stats.Worm.Dev_stats.reads)
+    0 (fixture_devices f)
+
+let test_memo_repeat_locate_zero_device_reads () =
+  (* A repeated locate over settled storage must be answered entirely from
+     the skip index: zero device reads, even with the block cache emptied. *)
+  let f = fixture ~fanout:4 () in
+  let target = create_log f "/target" in
+  let noise = create_log f "/noise" in
+  ignore (append f ~log:target "x");
+  let filler = String.make 190 'n' in
+  for _ = 1 to 200 do
+    ignore (append f ~log:noise filler)
+  done;
+  ignore (ok (Clio.Server.force f.srv));
+  let st = Clio.Server.state f.srv in
+  let v = active f in
+  let before = Clio.Vol.written_limit v in
+  let p1 = ok (Clio.Locate.prev_block st v ~log:target ~before) in
+  let n1 = ok (Clio.Locate.next_block st v ~log:target ~from:1) in
+  Alcotest.(check bool) "target found" true (p1 <> None && n1 <> None);
+  drop_block_caches_only f;
+  let r0 = dev_reads f in
+  let h0 = (Clio.Server.stats f.srv).Clio.Stats.locate_memo_hits in
+  Alcotest.(check (option int)) "prev repeats" p1
+    (ok (Clio.Locate.prev_block st v ~log:target ~before));
+  Alcotest.(check (option int)) "next repeats" n1
+    (ok (Clio.Locate.next_block st v ~log:target ~from:1));
+  Alcotest.(check int) "zero device reads" 0 (dev_reads f - r0);
+  Alcotest.(check int) "two skip-index hits" 2
+    ((Clio.Server.stats f.srv).Clio.Stats.locate_memo_hits - h0)
+
+let test_entrymap_memo_covers_decodes () =
+  (* Every entrymap read goes through the memo: re-decoding a (level,
+     boundary) entry after the block cache is emptied touches no device
+     blocks. *)
+  let f = fixture ~fanout:4 () in
+  let a = create_log f "/a" in
+  let filler = String.make 190 'x' in
+  for _ = 1 to 10 do
+    ignore (append f ~log:a filler)
+  done;
+  ignore (ok (Clio.Server.force f.srv));
+  let st = Clio.Server.state f.srv in
+  let v = active f in
+  let e1 = ok (Clio.Locate.read_map st v ~level:1 ~boundary:8) in
+  Alcotest.(check bool) "entry present" true (e1 <> None);
+  drop_block_caches_only f;
+  let r0 = dev_reads f in
+  let h0 = (Clio.Server.stats f.srv).Clio.Stats.entrymap_memo_hits in
+  let e2 = ok (Clio.Locate.read_map st v ~level:1 ~boundary:8) in
+  Alcotest.(check bool) "same entry" true (e1 = e2);
+  Alcotest.(check int) "zero device reads" 0 (dev_reads f - r0);
+  Alcotest.(check int) "served by the memo" 1
+    ((Clio.Server.stats f.srv).Clio.Stats.entrymap_memo_hits - h0)
+
+let test_memo_invalidation_aware () =
+  (* Invalidating a block bumps the volume generation: a memoized answer
+     pointing at the burned block must not survive. *)
+  let f = fixture ~fanout:4 () in
+  let target = create_log f "/target" in
+  let noise = create_log f "/noise" in
+  let filler = String.make 190 'n' in
+  ignore (append f ~log:target "one");
+  for _ = 1 to 30 do
+    ignore (append f ~log:noise filler)
+  done;
+  ignore (append f ~log:target "two");
+  for _ = 1 to 30 do
+    ignore (append f ~log:noise filler)
+  done;
+  ignore (ok (Clio.Server.force f.srv));
+  let st = Clio.Server.state f.srv in
+  let v = active f in
+  let b2 =
+    match ok (Clio.Locate.prev_block st v ~log:target ~before:max_int) with
+    | Some b -> b
+    | None -> Alcotest.fail "target not found"
+  in
+  (* Warm the memo, then burn the found block. *)
+  ignore (ok (Clio.Locate.prev_block st v ~log:target ~before:max_int));
+  Result.get_ok (v.Clio.Vol.io.Worm.Block_io.invalidate b2);
+  let expect, _ = ok (Baseline.Naive_scan.prev_block st v ~log:target ~before:max_int) in
+  let got = ok (Clio.Locate.prev_block st v ~log:target ~before:max_int) in
+  Alcotest.(check bool) "stale answer dropped" true (got <> Some b2);
+  Alcotest.(check (option int)) "agrees with scan after invalidation" expect got
+
+let test_memo_disabled_by_config () =
+  let f =
+    make_fixture
+      ~config:{ Clio.Config.default with Clio.Config.fanout = 4; locate_memo = false }
+      ~block_size:256 ~capacity:4096 ()
+  in
+  let target = create_log f "/target" in
+  let noise = create_log f "/noise" in
+  ignore (append f ~log:target "x");
+  let filler = String.make 190 'n' in
+  for _ = 1 to 60 do
+    ignore (append f ~log:noise filler)
+  done;
+  ignore (ok (Clio.Server.force f.srv));
+  let st = Clio.Server.state f.srv in
+  let v = active f in
+  ignore (ok (Clio.Locate.prev_block st v ~log:target ~before:max_int));
+  drop_block_caches_only f;
+  let r0 = dev_reads f in
+  ignore (ok (Clio.Locate.prev_block st v ~log:target ~before:max_int));
+  Alcotest.(check bool) "no memo: device reads recur" true (dev_reads f - r0 > 0);
+  Alcotest.(check int) "no memo hits counted" 0
+    (Clio.Server.stats f.srv).Clio.Stats.locate_memo_hits
+
 let () =
   run "locate"
     [
@@ -181,5 +302,13 @@ let () =
         [
           Alcotest.test_case "block_contains" `Quick test_block_contains;
           Alcotest.test_case "read_map at boundary" `Quick test_read_map_at_boundary;
+        ] );
+      ( "memoization",
+        [
+          Alcotest.test_case "repeat locate: zero device reads" `Quick
+            test_memo_repeat_locate_zero_device_reads;
+          Alcotest.test_case "entrymap decodes memoized" `Quick test_entrymap_memo_covers_decodes;
+          Alcotest.test_case "invalidation aware" `Quick test_memo_invalidation_aware;
+          Alcotest.test_case "disabled by config" `Quick test_memo_disabled_by_config;
         ] );
     ]

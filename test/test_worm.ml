@@ -258,6 +258,104 @@ let test_nvram_roundtrip () =
   Worm.Nvram.clear nv;
   Alcotest.(check bool) "cleared" true (Worm.Nvram.load nv = None)
 
+let test_mem_read_returns_copy () =
+  (* Regression: mem_device reads used to alias the stored buffer, so a
+     caller mutating the result rewrote the write-once medium in place. *)
+  let io = Worm.Mem_device.io (Worm.Mem_device.create ~block_size:64 ~capacity:16 ()) in
+  ignore (io.Worm.Block_io.append (block 64 'a'));
+  let b = Result.get_ok (io.Worm.Block_io.read 0) in
+  Bytes.fill b 0 64 'Z';
+  Alcotest.(check bytes) "medium unchanged by caller mutation" (block 64 'a')
+    (Result.get_ok (io.Worm.Block_io.read 0))
+
+let test_read_many_matches_single_reads () =
+  (* The batched op must agree with per-block reads everywhere: written,
+     invalidated, unwritten and out-of-range indices, in request order. *)
+  let io = Worm.Mem_device.io (Worm.Mem_device.create ~block_size:64 ~capacity:16 ()) in
+  for i = 0 to 5 do
+    ignore (io.Worm.Block_io.append (block 64 (Char.chr (97 + i))))
+  done;
+  Result.get_ok (io.Worm.Block_io.invalidate 2);
+  let idxs = [ 4; 0; 1; 2; 3; 9; -1; 5 ] in
+  let batched = Worm.Block_io.read_many io idxs in
+  let single = List.map io.Worm.Block_io.read idxs in
+  Alcotest.(check int) "result per request" (List.length idxs) (List.length batched);
+  List.iteri
+    (fun n (b, s) ->
+      match (b, s) with
+      | Ok bb, Ok sb -> Alcotest.(check bytes) (Printf.sprintf "slot %d" n) sb bb
+      | Error be, Error se ->
+        Alcotest.(check string)
+          (Printf.sprintf "slot %d error" n)
+          (Worm.Block_io.error_to_string se)
+          (Worm.Block_io.error_to_string be)
+      | _ -> Alcotest.failf "slot %d: batched and single reads disagree" n)
+    (List.combine batched single)
+
+let test_read_many_fallback () =
+  (* A device without a native read_many still serves batches via the
+     per-block loop. *)
+  let inner = Worm.Mem_device.io (Worm.Mem_device.create ~block_size:64 ~capacity:16 ()) in
+  ignore (inner.Worm.Block_io.append (block 64 'a'));
+  ignore (inner.Worm.Block_io.append (block 64 'b'));
+  let io = { inner with Worm.Block_io.read_many = None } in
+  (match Worm.Block_io.read_many io [ 1; 0 ] with
+  | [ Ok b1; Ok b0 ] ->
+    Alcotest.(check bytes) "slot 0" (block 64 'b') b1;
+    Alcotest.(check bytes) "slot 1" (block 64 'a') b0
+  | _ -> Alcotest.fail "fallback batch failed");
+  Alcotest.(check int) "looped over single reads" 2 io.Worm.Block_io.stats.Worm.Dev_stats.reads
+
+let test_contiguous_runs () =
+  Alcotest.(check (list (list int))) "splits on gaps"
+    [ [ 1; 2; 3 ]; [ 5 ]; [ 7; 8 ] ]
+    (Worm.Block_io.contiguous_runs [ 1; 2; 3; 5; 7; 8 ]);
+  Alcotest.(check (list (list int))) "empty" [] (Worm.Block_io.contiguous_runs []);
+  Alcotest.(check (list (list int)))
+    "descending input starts new runs"
+    [ [ 3 ]; [ 2 ]; [ 1 ] ]
+    (Worm.Block_io.contiguous_runs [ 3; 2; 1 ])
+
+let test_file_read_many_native () =
+  with_tmp_file (fun path ->
+      let d = Result.get_ok (Worm.File_device.create ~path ~block_size:64 ~capacity:16 ()) in
+      let io = Worm.File_device.io d in
+      for i = 0 to 7 do
+        ignore (io.Worm.Block_io.append (block 64 (Char.chr (97 + i))))
+      done;
+      Result.get_ok (io.Worm.Block_io.invalidate 5);
+      (match Worm.Block_io.read_many io [ 0; 1; 2; 5; 6; 7; 9 ] with
+      | [ Ok b0; Ok b1; Ok b2; Ok b5; Ok b6; Ok b7; Error (Worm.Block_io.Unwritten 9) ] ->
+        Alcotest.(check bytes) "run start" (block 64 'a') b0;
+        Alcotest.(check bytes) "run middle" (block 64 'b') b1;
+        Alcotest.(check bytes) "run end" (block 64 'c') b2;
+        Alcotest.(check bool) "invalidated pattern" true (Worm.Block_io.is_invalidated_pattern b5);
+        Alcotest.(check bytes) "second run" (block 64 'g') b6;
+        Alcotest.(check bytes) "second run end" (block 64 'h') b7
+      | _ -> Alcotest.fail "native batched read returned unexpected shape");
+      Worm.File_device.close d)
+
+let test_timed_read_many_seeks () =
+  (* The seek model charges one head movement per contiguous run: a batched
+     sequential read is one seek, the same blocks read singly are counted as
+     one seek each (distance 0 after the first, but still a movement). *)
+  let clock = Sim.Clock.simulated ~tick:0L () in
+  let base = Worm.Mem_device.create ~block_size:64 ~capacity:4096 () in
+  let td = Worm.Timed_device.create ~clock ~model:Sim.Seek_model.optical (Worm.Mem_device.io base) in
+  let io = Worm.Timed_device.io td in
+  for _ = 0 to 99 do
+    ignore (io.Worm.Block_io.append (block 64 'a'))
+  done;
+  let seeks0 = Worm.Timed_device.seeks td in
+  (match Worm.Block_io.read_many io [ 10; 11; 12; 13; 50; 51 ] with
+  | rs when List.for_all Result.is_ok rs -> ()
+  | _ -> Alcotest.fail "batched read failed");
+  Alcotest.(check int) "two runs, two seeks" 2 (Worm.Timed_device.seeks td - seeks0);
+  let seeks1 = Worm.Timed_device.seeks td in
+  List.iter (fun i -> ignore (io.Worm.Block_io.read i)) [ 10; 11; 12; 13; 50; 51 ];
+  Alcotest.(check int) "single reads seek each time" 6 (Worm.Timed_device.seeks td - seeks1);
+  Alcotest.(check int) "head parks at batch end" 51 (Worm.Timed_device.head_position td)
+
 let test_invalidated_pattern () =
   Alcotest.(check bool) "all ones" true
     (Worm.Block_io.is_invalidated_pattern (Worm.Block_io.invalidated_block 64));
@@ -277,11 +375,19 @@ let () =
           Alcotest.test_case "invalidate ahead skips" `Quick test_mem_invalidate_ahead_skips;
           Alcotest.test_case "frontier hidden" `Quick test_mem_frontier_hidden;
           Alcotest.test_case "stats" `Quick test_mem_stats;
+          Alcotest.test_case "read returns a copy" `Quick test_mem_read_returns_copy;
+        ] );
+      ( "batched-reads",
+        [
+          Alcotest.test_case "matches single reads" `Quick test_read_many_matches_single_reads;
+          Alcotest.test_case "loop fallback" `Quick test_read_many_fallback;
+          Alcotest.test_case "contiguous runs" `Quick test_contiguous_runs;
         ] );
       ( "file-device",
         [
           Alcotest.test_case "persistence" `Quick test_file_device_persistence;
           Alcotest.test_case "geometry check" `Quick test_file_device_geometry_check;
+          Alcotest.test_case "native read_many" `Quick test_file_read_many_native;
         ] );
       ( "faulty-device",
         [
@@ -296,6 +402,7 @@ let () =
         [
           Alcotest.test_case "charges seeks" `Quick test_timed_device_charges;
           Alcotest.test_case "separate heads" `Quick test_timed_separate_heads;
+          Alcotest.test_case "read_many seeks per run" `Quick test_timed_read_many_seeks;
         ] );
       ( "nvram",
         [

@@ -68,9 +68,12 @@ let all_payloads_backward srv ~log =
   in
   go []
 
+(* Both the block cache and the locate memo: a "cold" measurement must not
+   be silently warmed by memoized entrymap decodes. *)
 let drop_caches srv =
   let st = Clio.Server.state srv in
-  Array.iter (fun v -> Blockcache.Cache.drop v.Clio.Vol.cache) st.Clio.State.vols
+  Array.iter (fun v -> Blockcache.Cache.drop v.Clio.Vol.cache) st.Clio.State.vols;
+  Clio.Read_memo.clear st.Clio.State.read_memo
 
 let check_payloads = Alcotest.(check (list string))
 
