@@ -4,7 +4,7 @@
      dune exec bench/main.exe             run everything
      dune exec bench/main.exe -- table1   run one section
 
-   Section names: fig3 table1 write rpc fig4 space coldread read chaos
+   Section names: fig3 table1 write rpc fig4 space coldread read chaos repl
                   ablate-n ablate-force ablate-locate ablate-fs ablate-sublog
                   ablations (all five) *)
 
@@ -29,6 +29,7 @@ let sections : (string * (unit -> unit)) list =
     ("cache-econ", History_bench.cache_economics);
     ("delay", History_bench.delayed_write);
     ("chaos", Chaos_bench.run);
+    ("repl", Repl_bench.run);
   ]
 
 let usage () =

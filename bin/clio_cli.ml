@@ -207,6 +207,58 @@ let admin_breaker dir block_size capacity trip reset json =
   if json then print_endline (Obs.Json.to_string_pretty (Clio.Breaker.to_json b))
   else Format.printf "%a@." Clio.Breaker.pp b
 
+(* Like the breaker drill: the replication role is volatile state, so these
+   act on this invocation's server instance — [status] renders what a
+   long-running daemon would report, [promote] exercises the failover path
+   (epoch+1, Primary role) against a store recovered from disk. *)
+let repl_json srv =
+  Obs.Json.Obj
+    [
+      ("role", Obs.Json.Str (Clio.State.role_name (Clio.Server.role srv)));
+      ("epoch", Obs.Json.Int (Clio.Server.epoch srv));
+      ("lag_blocks", Obs.Json.Int (Clio.Server.repl_lag_blocks srv));
+      ( "blocks_shipped",
+        Obs.Json.Int (Clio.Server.stats srv).Clio.Stats.repl_blocks_shipped );
+      ( "blocks_applied",
+        Obs.Json.Int (Clio.Server.stats srv).Clio.Stats.repl_blocks_applied );
+      ("tail_ships", Obs.Json.Int (Clio.Server.stats srv).Clio.Stats.repl_tail_ships);
+      ( "tail_applies",
+        Obs.Json.Int (Clio.Server.stats srv).Clio.Stats.repl_tail_applies );
+      ( "catchup_rounds",
+        Obs.Json.Int (Clio.Server.stats srv).Clio.Stats.repl_catchup_rounds );
+      ( "epoch_rejects",
+        Obs.Json.Int (Clio.Server.stats srv).Clio.Stats.repl_epoch_rejects );
+    ]
+
+let repl_print srv =
+  let role = Clio.Server.role srv in
+  (match role with
+  | Clio.State.Primary _ -> Format.printf "role: primary (epoch %d)@." (Clio.Server.epoch srv)
+  | Clio.State.Replica { primary_hint; _ } ->
+    Format.printf "role: replica (epoch %d, primary: %s)@." (Clio.Server.epoch srv) primary_hint
+  | Clio.State.Fenced { hint; _ } ->
+    Format.printf "role: fenced (epoch %d, superseded by: %s)@." (Clio.Server.epoch srv) hint);
+  Format.printf "lag_blocks: %d@." (Clio.Server.repl_lag_blocks srv);
+  let s = Clio.Server.stats srv in
+  Format.printf "blocks_shipped: %d  blocks_applied: %d@." s.Clio.Stats.repl_blocks_shipped
+    s.Clio.Stats.repl_blocks_applied;
+  Format.printf "tail_ships: %d  tail_applies: %d@." s.Clio.Stats.repl_tail_ships
+    s.Clio.Stats.repl_tail_applies;
+  Format.printf "catchup_rounds: %d  epoch_rejects: %d@." s.Clio.Stats.repl_catchup_rounds
+    s.Clio.Stats.repl_epoch_rejects
+
+let repl_status dir block_size capacity json =
+  let srv = open_store ~dir ~block_size ~capacity in
+  if json then print_endline (Obs.Json.to_string_pretty (repl_json srv))
+  else repl_print srv
+
+let repl_promote dir block_size capacity json =
+  let srv = open_store ~dir ~block_size ~capacity in
+  let next = Clio.Server.epoch srv + 1 in
+  Clio.Server.set_role srv (Clio.State.Primary { epoch = next });
+  if json then print_endline (Obs.Json.to_string_pretty (repl_json srv))
+  else Format.printf "promoted: now primary at epoch %d@." next
+
 (* ------------------------------- wiring ------------------------------ *)
 
 let with_common f = Term.(const f $ dir_arg $ block_size_arg $ capacity_arg)
@@ -285,6 +337,26 @@ let admin_cmd =
   in
   Cmd.group (Cmd.info "admin" ~doc:"Operator controls (degraded mode).") [ breaker_sub ]
 
+let repl_cmd =
+  let status_sub =
+    Cmd.v
+      (Cmd.info "status"
+         ~doc:
+           "Show the replication role (primary/replica/fenced), epoch, lag \
+            gauge and ship/apply counters.")
+      Term.(with_common repl_status $ json_flag)
+  in
+  let promote_sub =
+    Cmd.v
+      (Cmd.info "promote"
+         ~doc:
+           "Fail over to this store: recover it (replaying the NVRAM tail) \
+            and assert the primary role at the next epoch.")
+      Term.(with_common repl_promote $ json_flag)
+  in
+  Cmd.group (Cmd.info "repl" ~doc:"Replication controls (role, promotion).")
+    [ status_sub; promote_sub ]
+
 let trace_cmd =
   Cmd.v
     (Cmd.info "trace"
@@ -310,4 +382,5 @@ let () =
             trace_cmd;
             fsck_cmd;
             admin_cmd;
+            repl_cmd;
           ]))

@@ -9,6 +9,7 @@ type t = {
   breaker_threshold : int;
   locate_memo : bool;
   read_ahead_blocks : int;
+  repl_batch_blocks : int;
 }
 
 let default =
@@ -23,6 +24,7 @@ let default =
     breaker_threshold = 8;
     locate_memo = true;
     read_ahead_blocks = 8;
+    repl_batch_blocks = 32;
   }
 
 let validate t =
@@ -33,6 +35,8 @@ let validate t =
   else if t.cache_blocks < 1 then Error (Errors.Bad_record "cache must hold >= 1 block")
   else if t.read_ahead_blocks < 0 || t.read_ahead_blocks > 1024 then
     Error (Errors.Bad_record "read-ahead must be in [0, 1024] blocks")
+  else if t.repl_batch_blocks < 1 || t.repl_batch_blocks > 4096 then
+    Error (Errors.Bad_record "replication batch must be in [1, 4096] blocks")
   else Ok t
 
 let levels t ~capacity =

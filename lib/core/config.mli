@@ -29,6 +29,10 @@ type t = {
   read_ahead_blocks : int;
       (** How many predicted blocks a cursor prefetches in one batched device
           read when it crosses a block boundary; [0] disables read-ahead. *)
+  repl_batch_blocks : int;
+      (** How many settled blocks a replication shipper packs into one
+          [Repl_blocks] message when streaming a catch-up gap — the batch is
+          read off the primary's device in one [read_many] call. *)
 }
 
 val default : t

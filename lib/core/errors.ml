@@ -15,6 +15,8 @@ type t =
   | Degraded
   | Timeout
   | Disconnected
+  | Not_primary of string
+  | Stale_epoch of int
 
 let pp ppf = function
   | Device e -> Format.fprintf ppf "device: %a" Worm.Block_io.pp_error e
@@ -33,6 +35,10 @@ let pp ppf = function
   | Degraded -> Format.fprintf ppf "server degraded: writes disabled (read-only mode)"
   | Timeout -> Format.fprintf ppf "request timed out (deadline exceeded)"
   | Disconnected -> Format.fprintf ppf "transport disconnected"
+  | Not_primary hint ->
+    if hint = "" then Format.fprintf ppf "not the primary: writes refused"
+    else Format.fprintf ppf "not the primary: writes refused (primary: %s)" hint
+  | Stale_epoch e -> Format.fprintf ppf "stale replication epoch (current epoch is %d)" e
 
 let to_string e = Format.asprintf "%a" pp e
 

@@ -27,6 +27,14 @@ type t =
   | Disconnected
       (** the transport reset mid-call; whether the request was applied is
           unknown unless the call carried an idempotency key *)
+  | Not_primary of string
+      (** a write reached a replica (or a fenced ex-primary); the payload is
+          a redirect hint naming the primary, empty when unknown *)
+  | Stale_epoch of int
+      (** a replication message carried an epoch older than the one the
+          receiver has seen; the payload is the receiver's current epoch.
+          This is the fencing signal: a deposed primary's shipments are
+          refused with it *)
 
 val pp : Format.formatter -> t -> unit
 val to_string : t -> string

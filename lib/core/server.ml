@@ -25,22 +25,37 @@ let recover ?(config = Config.default) ~clock ?nvram ~alloc_volume ~devices () =
 
 let breaker st = st.State.breaker
 
+(* Role gate: only a primary accepts writes. The check precedes the breaker
+   so a replica's refusal always carries the redirect hint, whatever the
+   local breaker state. *)
 let write_guarded st f =
-  if Breaker.is_open st.State.breaker then begin
-    Breaker.record_rejected st.State.breaker;
-    Error Errors.Degraded
-  end
-  else begin
-    let r = f () in
-    (match r with
-    | Error (Errors.Device _) -> Breaker.record_error st.State.breaker
-    | _ -> ());
-    r
-  end
+  match st.State.role with
+  | State.Replica { primary_hint; _ } -> Error (Errors.Not_primary primary_hint)
+  | State.Fenced { hint; _ } -> Error (Errors.Not_primary hint)
+  | State.Primary _ ->
+    if Breaker.is_open st.State.breaker then begin
+      Breaker.record_rejected st.State.breaker;
+      Error Errors.Degraded
+    end
+    else begin
+      let r = f () in
+      (match r with
+      | Error (Errors.Device _) -> Breaker.record_error st.State.breaker
+      | _ -> ());
+      r
+    end
 
 let breaker_state st = Breaker.state (breaker st)
 let reset_breaker st = Breaker.reset (breaker st)
 let trip_breaker st = Breaker.trip (breaker st)
+
+(* ------------------------------ replication ----------------------------- *)
+
+let role st = st.State.role
+let set_role st role = st.State.role <- role
+let epoch st = State.role_epoch st.State.role
+let repl_lag_blocks st = st.State.repl_lag_blocks
+let set_repl_lag_blocks st lag = st.State.repl_lag_blocks <- max 0 lag
 
 (* --------------------------------- naming ------------------------------- *)
 
@@ -405,6 +420,19 @@ let metrics_obj st =
           ( "volumes",
             Obj [ ("count", Int (nvols st)); ("blocks_used", Int (volume_blocks_used st)) ] );
           ("breaker", Breaker.to_json st.State.breaker);
+          ( "repl",
+            Obj
+              [
+                ("role", Str (State.role_name st.State.role));
+                ("epoch", Int (State.role_epoch st.State.role));
+                ("lag_blocks", Int st.State.repl_lag_blocks);
+                ("blocks_shipped", Int st.State.stats.Stats.repl_blocks_shipped);
+                ("blocks_applied", Int st.State.stats.Stats.repl_blocks_applied);
+                ("tail_ships", Int st.State.stats.Stats.repl_tail_ships);
+                ("tail_applies", Int st.State.stats.Stats.repl_tail_applies);
+                ("catchup_rounds", Int st.State.stats.Stats.repl_catchup_rounds);
+                ("epoch_rejects", Int st.State.stats.Stats.repl_epoch_rejects);
+              ] );
         ])
   | other -> other
 

@@ -126,6 +126,29 @@ val reset_breaker : t -> unit
 val trip_breaker : t -> unit
 (** Force the breaker open (operator drill / testing). *)
 
+(** {1 Replication role}
+
+    Service-level replication (lib/repl) demotes a recovered server to
+    [Replica] so every mutating entry point answers [Errors.Not_primary]
+    with a redirect hint, while reads, locate and time search keep working
+    against the locally applied volume bytes. Promotion re-asserts
+    [Primary] at the next epoch; a primary fenced by a newer epoch is
+    marked [Fenced] and also refuses writes. The role is volatile state —
+    every {!create}/{!recover} starts as [Primary] at epoch 1 and the
+    replication layer re-asserts the real role afterwards. *)
+
+val role : t -> State.role
+val set_role : t -> State.role -> unit
+
+val epoch : t -> int
+(** The epoch of the current role. *)
+
+val repl_lag_blocks : t -> int
+(** Primary-side gauge: settled blocks the furthest-behind replica had not
+    acknowledged at the last shipper sync (0 when not shipping). *)
+
+val set_repl_lag_blocks : t -> int -> unit
+
 (** {1 Reading} *)
 
 val cursor_start : t -> log:Ids.logfile -> Reader.cursor

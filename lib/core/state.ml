@@ -12,6 +12,24 @@ type probes = {
   h_batch : Obs.Histogram.t;
 }
 
+(* Replication role. Epochs totally order primaries over a volume
+   sequence's lifetime: promotion mints epoch+1 and every shipped message
+   carries the sender's epoch, so a deposed primary's traffic is refused
+   ([Errors.Stale_epoch]) the first time it reaches anyone who has seen the
+   newer epoch — at which point it marks itself [Fenced]. *)
+type role =
+  | Primary of { epoch : int }
+  | Replica of { epoch : int; primary_hint : string }
+  | Fenced of { epoch : int; hint : string }
+
+let role_name = function
+  | Primary _ -> "primary"
+  | Replica _ -> "replica"
+  | Fenced _ -> "fenced"
+
+let role_epoch = function
+  | Primary { epoch } | Replica { epoch; _ } | Fenced { epoch; _ } -> epoch
+
 type t = {
   config : Config.t;
   clock : Sim.Clock.t;
@@ -32,6 +50,8 @@ type t = {
   mutable auto_mount : bool;
   mutable mounts : int;
   breaker : Breaker.t;
+  mutable role : role;
+  mutable repl_lag_blocks : int;
 }
 
 let make ~config ~clock ?nvram ~alloc_volume () =
@@ -71,6 +91,8 @@ let make ~config ~clock ?nvram ~alloc_volume () =
     auto_mount = true;
     mounts = 0;
     breaker = Breaker.create ~metrics:m ~threshold:config.Config.breaker_threshold ();
+    role = Primary { epoch = 1 };
+    repl_lag_blocks = 0;
   }
 
 let active t =

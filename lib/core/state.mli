@@ -15,6 +15,22 @@ type probes = {
   h_batch : Obs.Histogram.t;  (** entries per {!Server.append_batch} call *)
 }
 
+(** Replication role of this server over its volume sequence. Every server
+    boots (and recovers) as [Primary] at epoch 1; {!Repl.Replica} demotes
+    its rebuilt servers to [Replica], promotion mints [Primary] with the
+    next epoch, and a primary whose shipment is refused with
+    [Errors.Stale_epoch] marks itself [Fenced]. Replica and Fenced roles
+    refuse every write with [Errors.Not_primary] carrying the hint. *)
+type role =
+  | Primary of { epoch : int }
+  | Replica of { epoch : int; primary_hint : string }
+  | Fenced of { epoch : int; hint : string }
+
+val role_name : role -> string
+(** ["primary"] / ["replica"] / ["fenced"] — the metrics rendering. *)
+
+val role_epoch : role -> int
+
 type t = {
   config : Config.t;
   clock : Sim.Clock.t;
@@ -52,6 +68,12 @@ type t = {
   breaker : Breaker.t;
       (** error-budget circuit breaker for the write paths; volatile —
           recovery starts a fresh (closed) breaker *)
+  mutable role : role;
+      (** replication role; volatile — the replication layer re-asserts it
+          after every recovery *)
+  mutable repl_lag_blocks : int;
+      (** primary-side gauge: settled blocks the furthest-behind replica has
+          not acknowledged, as of the last shipper sync *)
 }
 
 val make :

@@ -26,6 +26,12 @@ type t = {
   mutable entrymap_memo_hits : int;
   mutable readahead_batches : int;
   mutable readahead_blocks : int;
+  mutable repl_blocks_shipped : int;
+  mutable repl_blocks_applied : int;
+  mutable repl_tail_ships : int;
+  mutable repl_tail_applies : int;
+  mutable repl_catchup_rounds : int;
+  mutable repl_epoch_rejects : int;
 }
 
 let create () =
@@ -57,6 +63,12 @@ let create () =
     entrymap_memo_hits = 0;
     readahead_batches = 0;
     readahead_blocks = 0;
+    repl_blocks_shipped = 0;
+    repl_blocks_applied = 0;
+    repl_tail_ships = 0;
+    repl_tail_applies = 0;
+    repl_catchup_rounds = 0;
+    repl_epoch_rejects = 0;
   }
 
 (* The single source of truth relating field names to accessors, in
@@ -101,6 +113,20 @@ let field_specs : (string * (t -> int) * (t -> int -> unit)) list =
     ("entrymap_memo_hits", (fun t -> t.entrymap_memo_hits), fun t v -> t.entrymap_memo_hits <- v);
     ("readahead_batches", (fun t -> t.readahead_batches), fun t v -> t.readahead_batches <- v);
     ("readahead_blocks", (fun t -> t.readahead_blocks), fun t v -> t.readahead_blocks <- v);
+    ( "repl_blocks_shipped",
+      (fun t -> t.repl_blocks_shipped),
+      fun t v -> t.repl_blocks_shipped <- v );
+    ( "repl_blocks_applied",
+      (fun t -> t.repl_blocks_applied),
+      fun t v -> t.repl_blocks_applied <- v );
+    ("repl_tail_ships", (fun t -> t.repl_tail_ships), fun t v -> t.repl_tail_ships <- v);
+    ("repl_tail_applies", (fun t -> t.repl_tail_applies), fun t v -> t.repl_tail_applies <- v);
+    ( "repl_catchup_rounds",
+      (fun t -> t.repl_catchup_rounds),
+      fun t v -> t.repl_catchup_rounds <- v );
+    ( "repl_epoch_rejects",
+      (fun t -> t.repl_epoch_rejects),
+      fun t v -> t.repl_epoch_rejects <- v );
   ]
 
 let fields t = List.map (fun (name, get, _) -> (name, get t)) field_specs

@@ -37,6 +37,13 @@ type t = {
   mutable entrymap_memo_hits : int;  (** entrymap decodes answered memoized *)
   mutable readahead_batches : int;  (** batched prefetches issued by cursors *)
   mutable readahead_blocks : int;  (** blocks requested across those batches *)
+  (* replication *)
+  mutable repl_blocks_shipped : int;  (** settled blocks sent to replicas *)
+  mutable repl_blocks_applied : int;  (** settled blocks burned by a replica *)
+  mutable repl_tail_ships : int;  (** volatile tail images sent *)
+  mutable repl_tail_applies : int;  (** volatile tail images staged in NVRAM *)
+  mutable repl_catchup_rounds : int;  (** syncs that found a frontier gap *)
+  mutable repl_epoch_rejects : int;  (** shipments refused as [Stale_epoch] *)
 }
 
 val create : unit -> t

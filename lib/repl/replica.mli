@@ -1,0 +1,66 @@
+(** A read replica of one Clio volume sequence.
+
+    The replica owns a set of raw WORM devices written {e only} by applying
+    the primary's shipments ({!Shipper}): verbatim settled blocks, in
+    order, at the primary's indices — so its storage is byte-identical to
+    the primary's up to the shipped frontier. Serving reads is then just
+    recovery: the replica lazily rebuilds a {!Clio.Server.t} from its
+    devices (plus the NVRAM-staged volatile tail, when the primary shipped
+    one) and lets the ordinary {!Uio.Rpc_server} dispatch client traffic
+    against it. The rebuilt server carries the [Replica] role, so every
+    mutating request answers [Errors.Not_primary] with the primary's
+    address, while reads, locate and time search work locally.
+
+    {b Epochs and failover.} Every replication message carries the sender's
+    epoch. {!promote} mints the next epoch and rebuilds through ordinary
+    recovery — replaying the staged tail, so every append the old primary
+    acknowledged durably is served. From then on the deposed primary's
+    shipments answer [Errors.Stale_epoch]; on seeing it the old primary
+    fences itself (see {!Shipper}). A shipment carrying a {e newer} epoch
+    re-demotes a promoted replica. *)
+
+type t
+
+val create :
+  ?config:Clio.Config.t ->
+  ?nvram:Worm.Nvram.t ->
+  clock:Sim.Clock.t ->
+  alloc:(vol_index:int -> (Worm.Block_io.t, Clio.Errors.t) result) ->
+  primary_hint:string ->
+  unit ->
+  t
+(** An empty replica. [alloc] hands out the raw device that will back each
+    shipped volume (called when a shipment opens a new volume index);
+    [primary_hint] is the redirect address embedded in [Not_primary]
+    refusals. [nvram] stages the primary's volatile tail between rebuilds —
+    without it, tail shipments are acknowledged but not retained. *)
+
+val handler : t -> string -> string
+(** The replica's wire endpoint, suitable for [Transport.local]: [Repl_*]
+    requests are applied directly (epoch-gated); everything else goes to
+    the embedded RPC dispatcher over a lazily rebuilt server. Total. *)
+
+val server : t -> (Clio.Server.t, Clio.Errors.t) result
+(** The server over the currently applied state, rebuilding if shipments
+    arrived since the last build. Fails while the replica holds no volumes. *)
+
+val promote : t -> (Clio.Server.t, Clio.Errors.t) result
+(** Fail over to this replica: mint epoch+1, rebuild through recovery
+    (replaying the staged tail) and assert the [Primary] role. The returned
+    server accepts writes; subsequent shipments from the deposed primary
+    are refused with [Stale_epoch]. *)
+
+(** {1 Introspection} *)
+
+val epoch : t -> int
+val nvols : t -> int
+
+val device : t -> int -> Worm.Block_io.t option
+(** The raw device of volume [i] (tests compare these byte-for-byte with
+    the primary's). *)
+
+val blocks_applied : t -> int
+(** Lifetime settled blocks applied (survives rebuilds). *)
+
+val tail_applies : t -> int
+val epoch_rejects : t -> int

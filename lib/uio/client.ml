@@ -23,6 +23,8 @@ type t = {
   retry : retry_policy;
   rng : Sim.Rng.t;  (** backoff jitter + idempotency-key seed *)
   mutable next_key : int64;
+  mutable redirect_hint : string option;
+      (** primary address from the last [Not_primary] refusal, if any *)
   stats : stats;
   m_retries : Obs.Metrics.counter option;
   m_timeouts : Obs.Metrics.counter option;
@@ -66,7 +68,11 @@ let call_once t wire =
   | raw -> (
     match Message.decode_response raw with
     | Ok (Message.R_error msg) -> Error (Clio.Errors.Remote msg)
-    | Ok (Message.R_error_t e) -> Error e
+    | Ok (Message.R_error_t e) ->
+      (match e with
+      | Clio.Errors.Not_primary hint when hint <> "" -> t.redirect_hint <- Some hint
+      | _ -> ());
+      Error e
     | Ok r -> Ok r
     | Error e -> Error e)
 
@@ -135,6 +141,7 @@ let connect ?(max_version = Message.protocol_version) ?(retry = default_retry)
       retry;
       rng;
       next_key = Sim.Rng.next rng;
+      redirect_hint = None;
       stats = { retries = 0; timeouts = 0; disconnects = 0; deadline_exceeded = 0 };
       m_retries = mc "client_retries";
       m_timeouts = mc "client_timeouts";
@@ -150,6 +157,7 @@ let connect ?(max_version = Message.protocol_version) ?(retry = default_retry)
 
 let version t = t.version
 let stats t = t.stats
+let redirect_hint t = t.redirect_hint
 
 let expect_id t req =
   let* r = call t req in

@@ -69,6 +69,11 @@ val version : t -> int
 
 val stats : t -> stats
 
+val redirect_hint : t -> string option
+(** The primary's address from the most recent [Errors.Not_primary]
+    refusal this client received (a replica rejecting a write names its
+    primary). [None] until a write has been refused that way. *)
+
 (** A remote cursor: server-side state reached by id, carrying the current
     continuation token for chunked reads. Close explicitly, or use
     {!with_cursor}; an unclosed cursor is eventually LRU-evicted by the

@@ -6,7 +6,12 @@ type whence = From_start | From_end | From_time of int64
    15-19, response tags 9-13); v3 adds the [Keyed] idempotency envelope
    (request tag 20) and error codes 14-16 (Degraded/Timeout/Disconnected).
    A v3 server answers v1/v2 requests with the matching response shapes, so
-   older clients interoperate unchanged. *)
+   older clients interoperate unchanged.
+
+   The replication messages (request tags 21-23, response tags 14-15, error
+   codes 17-18) are a v3-era server-to-server extension: they are spoken
+   between a shipper and a replica endpoint, not negotiated through Hello,
+   so the client-facing protocol version stays 3. *)
 let protocol_version = 3
 
 type batch_item = {
@@ -55,6 +60,30 @@ type request =
       (* idempotency envelope: [key] is a client-generated id; the server
          keeps a bounded window of (key -> response) so a retried request
          after a lost ack replays the original answer. Never nested. *)
+  (* --------------------- replication (server-to-server) --------------------- *)
+  | Repl_frontier of { epoch : int }
+      (* frontier exchange: the replica answers with its per-volume settled
+         frontiers so the shipper knows what gap to stream *)
+  | Repl_blocks of {
+      epoch : int;
+      seq_uid : int64;
+      vol_index : int;
+      first_block : int;
+      blocks : string list;
+    }
+      (* a run of settled device blocks, verbatim bytes (invalidated blocks
+         included), starting at [first_block] of volume [vol_index] *)
+  | Repl_tail of {
+      epoch : int;
+      seq_uid : int64;
+      vol_index : int;
+      block : int;
+      image : string;
+    }
+      (* the primary's volatile tail, explicitly marked as such: a forced
+         block image destined for (unwritten) [block]. The replica stages it
+         in NVRAM only when fully caught up; it never reaches the medium
+         until the block actually settles *)
 
 type entry = {
   log : Clio.Ids.logfile;
@@ -76,12 +105,26 @@ type response =
   | R_entries of { entries : entry list; seq : int; eof : bool }
   | R_error_t of Clio.Errors.t
   | R_dir of dir_entry list
+  (* --------------------------- replication --------------------------- *)
+  | R_repl_frontier of { epoch : int; seq_uid : int64; vols : (int * int) list }
+      (* the replica's view: its current epoch, the volume sequence it
+         holds (0 when it holds nothing yet) and one (vol_index, settled
+         frontier) pair per volume *)
+  | R_repl_ack of { epoch : int; vol_index : int; next_block : int }
+      (* cumulative acknowledgement: every block of [vol_index] below
+         [next_block] is settled on the replica. Doubles as a NACK — a
+         shipment that left a gap is answered with the replica's unchanged
+         frontier, telling the shipper where to restart *)
 
 let is_v2_request = function
-  | Hello _ | Append_batch _ | Next_chunk _ | Prev_chunk _ | List_dir _ | Keyed _ -> true
+  | Hello _ | Append_batch _ | Next_chunk _ | Prev_chunk _ | List_dir _ | Keyed _
+  | Repl_frontier _ | Repl_blocks _ | Repl_tail _ ->
+    true
   | _ -> false
 
-let is_v3_request = function Keyed _ -> true | _ -> false
+let is_v3_request = function
+  | Keyed _ | Repl_frontier _ | Repl_blocks _ | Repl_tail _ -> true
+  | _ -> false
 
 let ( let* ) = Clio.Errors.( let* )
 
@@ -145,6 +188,8 @@ let encode_error enc (e : Clio.Errors.t) =
   | Clio.Errors.Degraded -> put 14
   | Clio.Errors.Timeout -> put 15
   | Clio.Errors.Disconnected -> put 16
+  | Clio.Errors.Not_primary hint -> put 17 ~detail:hint
+  | Clio.Errors.Stale_epoch e -> put 18 ~int_arg:e
   | Clio.Errors.Device d -> (
     match d with
     | Worm.Block_io.Out_of_space -> put 13 ~sub:1
@@ -182,6 +227,8 @@ let decode_error dec : (Clio.Errors.t, Clio.Errors.t) result =
     | 14 -> Clio.Errors.Degraded
     | 15 -> Clio.Errors.Timeout
     | 16 -> Clio.Errors.Disconnected
+    | 17 -> Clio.Errors.Not_primary detail
+    | 18 -> Clio.Errors.Stale_epoch int_arg
     | 13 -> (
       match sub with
       | 1 -> Clio.Errors.Device Worm.Block_io.Out_of_space
@@ -293,6 +340,24 @@ let rec put_request enc r =
     E.u8 enc 20;
     E.i64 enc key;
     put_request enc req
+  | Repl_frontier { epoch } ->
+    E.u8 enc 21;
+    E.u32 enc epoch
+  | Repl_blocks { epoch; seq_uid; vol_index; first_block; blocks } ->
+    E.u8 enc 22;
+    E.u32 enc epoch;
+    E.i64 enc seq_uid;
+    E.u16 enc vol_index;
+    E.u32 enc first_block;
+    E.u16 enc (List.length blocks);
+    List.iter (put_string enc) blocks
+  | Repl_tail { epoch; seq_uid; vol_index; block; image } ->
+    E.u8 enc 23;
+    E.u32 enc epoch;
+    E.i64 enc seq_uid;
+    E.u16 enc vol_index;
+    E.u32 enc block;
+    put_string enc image
 
 let encode_request r =
   let enc = E.create () in
@@ -376,6 +441,24 @@ let decode_request s =
       let* key = D.i64 dec in
       let* req = go ~keyed:true in
       Ok (Keyed { key; req })
+  | 21 ->
+    let* epoch = D.u32 dec in
+    Ok (Repl_frontier { epoch })
+  | 22 ->
+    let* epoch = D.u32 dec in
+    let* seq_uid = D.i64 dec in
+    let* vol_index = D.u16 dec in
+    let* first_block = D.u32 dec in
+    let* n = D.u16 dec in
+    let* blocks = get_list dec n get_string [] in
+    Ok (Repl_blocks { epoch; seq_uid; vol_index; first_block; blocks })
+  | 23 ->
+    let* epoch = D.u32 dec in
+    let* seq_uid = D.i64 dec in
+    let* vol_index = D.u16 dec in
+    let* block = D.u32 dec in
+    let* image = get_string dec in
+    Ok (Repl_tail { epoch; seq_uid; vol_index; block; image })
   | t -> Error (Clio.Errors.Bad_record (Printf.sprintf "unknown request tag %d" t))
   in
   go ~keyed:false
@@ -447,7 +530,22 @@ let encode_response r =
         E.u16 enc perms;
         E.u32 enc entry_count;
         put_string enc path)
-      entries);
+      entries
+  | R_repl_frontier { epoch; seq_uid; vols } ->
+    E.u8 enc 14;
+    E.u32 enc epoch;
+    E.i64 enc seq_uid;
+    E.u16 enc (List.length vols);
+    List.iter
+      (fun (vol_index, frontier) ->
+        E.u16 enc vol_index;
+        E.u32 enc frontier)
+      vols
+  | R_repl_ack { epoch; vol_index; next_block } ->
+    E.u8 enc 15;
+    E.u32 enc epoch;
+    E.u16 enc vol_index;
+    E.u32 enc next_block);
   E.contents enc
 
 let decode_response s =
@@ -508,6 +606,22 @@ let decode_response s =
     in
     let* entries = get_list dec n get_dir [] in
     Ok (R_dir entries)
+  | 14 ->
+    let* epoch = D.u32 dec in
+    let* seq_uid = D.i64 dec in
+    let* n = D.u16 dec in
+    let get_vol dec =
+      let* vol_index = D.u16 dec in
+      let* frontier = D.u32 dec in
+      Ok (vol_index, frontier)
+    in
+    let* vols = get_list dec n get_vol [] in
+    Ok (R_repl_frontier { epoch; seq_uid; vols })
+  | 15 ->
+    let* epoch = D.u32 dec in
+    let* vol_index = D.u16 dec in
+    let* next_block = D.u32 dec in
+    Ok (R_repl_ack { epoch; vol_index; next_block })
   | t -> Error (Clio.Errors.Bad_record (Printf.sprintf "unknown response tag %d" t))
 
 (* --------------------------- directory view --------------------------- *)

@@ -31,6 +31,17 @@
     timestamps included. Error codes 14–16 travel [Degraded] (the server's
     write-path circuit breaker is open), [Timeout] and [Disconnected].
 
+    {b Replication (server-to-server).} The [Repl_*] requests (tags 21–23),
+    [R_repl_*] responses (tags 14–15) and error codes 17–18
+    ([Not_primary]/[Stale_epoch]) are a v3-era extension spoken between a
+    primary's shipper and a replica endpoint ({!Repl} library). Because
+    WORM volumes are append-only and byte-stable, replication reduces to
+    streaming verbatim settled blocks plus an explicitly-marked volatile
+    tail image; every message carries the sender's epoch so a deposed
+    primary is fenced with [Stale_epoch]. These messages are not part of
+    the client negotiation — a plain server answers them with an error —
+    so [protocol_version] stays 3.
+
     Cursors are server-side state named by small integers, as V-style
     file-access protocols did; the chunk [seq] makes their continuation
     tokens single-use, so a stale or replayed token is detected
@@ -96,6 +107,35 @@ type request =
           (key → response) per connection, so a retry of the same key — sent
           because the first ack was lost — replays the original response
           (same timestamps, nothing applied twice). Never nested. *)
+  | Repl_frontier of { epoch : int }
+      (** replication: frontier exchange. The replica answers
+          {!R_repl_frontier} with its per-volume settled frontiers, so the
+          shipper knows exactly which gap to stream. *)
+  | Repl_blocks of {
+      epoch : int;
+      seq_uid : int64;
+      vol_index : int;
+      first_block : int;
+      blocks : string list;
+    }
+      (** replication: a run of settled device blocks of volume
+          [vol_index], verbatim bytes (invalidated all-ones blocks
+          included), [blocks] occupying indices [first_block, first_block +
+          length blocks). Application is idempotent: the replica skips
+          blocks below its frontier and answers {!R_repl_ack}, so
+          duplicated or re-sent shipments burn nothing twice. *)
+  | Repl_tail of {
+      epoch : int;
+      seq_uid : int64;
+      vol_index : int;
+      block : int;
+      image : string;
+    }
+      (** replication: the primary's volatile tail, explicitly marked as
+          such — a forced block image destined for the still-unwritten
+          [block]. A fully caught-up replica stages it in NVRAM (where
+          promotion-time recovery replays it); a lagging replica ignores it
+          and acks its unchanged frontier. *)
 
 type entry = {
   log : Clio.Ids.logfile;
@@ -120,6 +160,16 @@ type response =
           the cursor saw the end (resp. start) of the log *)
   | R_error_t of Clio.Errors.t  (** v2: typed errors *)
   | R_dir of dir_entry list  (** v2 listing *)
+  | R_repl_frontier of { epoch : int; seq_uid : int64; vols : (int * int) list }
+      (** replication: the replica's epoch, the volume-sequence uid it
+          holds ([0L] when empty) and one (vol_index, settled frontier)
+          pair per volume it has. *)
+  | R_repl_ack of { epoch : int; vol_index : int; next_block : int }
+      (** replication: cumulative acknowledgement — every block of
+          [vol_index] below [next_block] is settled on the replica. Doubles
+          as the NACK for a shipment that would leave a gap: the replica
+          answers its unchanged frontier, telling the shipper where to
+          restart. *)
 
 val is_v2_request : request -> bool
 

@@ -5,18 +5,19 @@
 type slot = { cur : Clio.Reader.cursor; mutable seq : int }
 
 type t = {
-  srv : Clio.Server.t;
-  cursors : slot Blockcache.Lru.t;
+  mutable srv : Clio.Server.t;
+  max_cursors : int;
+  mutable cursors : slot Blockcache.Lru.t;
   mutable next_cursor : int;
   mutable peer_version : int;
   dedup_capacity : int;
   dedup : (int64, string) Hashtbl.t;  (** idempotency key -> encoded response *)
   dedup_order : int64 Queue.t;  (** FIFO of live keys, oldest first *)
-  h_rpc : Obs.Histogram.t;
-  c_requests : Obs.Metrics.counter;
-  c_errors : Obs.Metrics.counter;
-  c_evicted : Obs.Metrics.counter;
-  c_dedup : Obs.Metrics.counter;
+  mutable h_rpc : Obs.Histogram.t;
+  mutable c_requests : Obs.Metrics.counter;
+  mutable c_errors : Obs.Metrics.counter;
+  mutable c_evicted : Obs.Metrics.counter;
+  mutable c_dedup : Obs.Metrics.counter;
 }
 
 let default_max_cursors = 64
@@ -26,6 +27,7 @@ let create ?(max_cursors = default_max_cursors) ?(dedup_window = default_dedup_w
   let m = Clio.Server.metrics srv in
   {
     srv;
+    max_cursors = max 1 max_cursors;
     cursors = Blockcache.Lru.create ~capacity:(max 1 max_cursors);
     next_cursor = 1;
     peer_version = 1;
@@ -38,6 +40,24 @@ let create ?(max_cursors = default_max_cursors) ?(dedup_window = default_dedup_w
     c_evicted = Obs.Metrics.counter m "rpc_cursors_evicted";
     c_dedup = Obs.Metrics.counter m "rpc_dedup_hits";
   }
+
+let server t = t.srv
+
+(* Swap in a rebuilt server (a replica re-recovers after applying shipped
+   blocks). Cursors point into the old server's volumes, so they are all
+   dropped — a reader sees [Cursor_expired] and reopens, exactly as after a
+   server reboot. The peer's negotiated version and dedup window survive:
+   the connection itself never went away. Metric handles are re-resolved
+   because the new server carries a fresh registry. *)
+let set_server t srv =
+  let m = Clio.Server.metrics srv in
+  t.srv <- srv;
+  t.cursors <- Blockcache.Lru.create ~capacity:t.max_cursors;
+  t.h_rpc <- Obs.Metrics.histogram m "rpc_us";
+  t.c_requests <- Obs.Metrics.counter m "rpc_requests";
+  t.c_errors <- Obs.Metrics.counter m "rpc_errors";
+  t.c_evicted <- Obs.Metrics.counter m "rpc_cursors_evicted";
+  t.c_dedup <- Obs.Metrics.counter m "rpc_dedup_hits"
 
 let rec request_name : Message.request -> string = function
   | Message.Keyed { req; _ } -> request_name req
@@ -60,6 +80,9 @@ let rec request_name : Message.request -> string = function
   | Message.Next_chunk _ -> "rpc.next_chunk"
   | Message.Prev_chunk _ -> "rpc.prev_chunk"
   | Message.List_dir _ -> "rpc.list_dir"
+  | Message.Repl_frontier _ -> "rpc.repl_frontier"
+  | Message.Repl_blocks _ -> "rpc.repl_blocks"
+  | Message.Repl_tail _ -> "rpc.repl_tail"
 
 let entry_of (e : Clio.Reader.entry) =
   {
@@ -183,6 +206,11 @@ let rec run_inner t (req : Message.request) : Message.response =
   | Message.Prev_chunk c -> chunk_reply t Clio.Server.prev c
   | Message.List_dir path ->
     reply t (Message.dir_entries t.srv path) (fun ds -> Message.R_dir ds)
+  | Message.Repl_frontier _ | Message.Repl_blocks _ | Message.Repl_tail _ ->
+    (* Replication traffic is intercepted by [Repl.Replica.handler] before
+       it reaches the plain dispatcher; a shipper that reached one anyway
+       is pointed at the wrong endpoint. *)
+    error_reply t (Clio.Errors.Bad_record "replication message sent to a non-replica endpoint")
   | Message.Keyed { req; _ } ->
     (* Unreachable through [handle], which unwraps the envelope to consult
        the dedup window first; kept total for direct [run] callers. *)

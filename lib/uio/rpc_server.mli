@@ -28,6 +28,14 @@ val create : ?max_cursors:int -> ?dedup_window:int -> Clio.Server.t -> t
 (** [dedup_window] bounds the idempotency-key replay cache; [0] disables
     dedup entirely (every keyed request re-runs). *)
 
+val server : t -> Clio.Server.t
+
+val set_server : t -> Clio.Server.t -> unit
+(** Swap in a rebuilt server (a replica re-recovers after applying shipped
+    blocks). All cursors are dropped — their ids answer [Cursor_expired],
+    as after a reboot — while the negotiated version and the dedup window
+    survive, because the connection itself never went away. *)
+
 val handle : t -> string -> string
 (** Total: malformed requests and failed operations come back as
     [R_error]/[R_error_t]; [handle] never raises. *)

@@ -65,6 +65,27 @@ let read t idx : (bytes, Block_io.error) result =
   | Some Bad_unwritten | Some Bad_unfixable -> Ok (garbage t t.inner.Block_io.block_size)
   | None -> t.inner.Block_io.read idx
 
+(* Native batch path: healthy indices ride the inner device's batched read
+   (keeping its one-seek-per-run accounting), faulted ones are overlaid
+   from the fault table — same per-block answers as [read]. *)
+let read_many t idxs : (bytes, Block_io.error) result list =
+  let healthy = List.filter (fun i -> not (Hashtbl.mem t.faults i)) idxs in
+  let inner_results : (int, (bytes, Block_io.error) result) Hashtbl.t =
+    Hashtbl.create (List.length healthy)
+  in
+  List.iter2
+    (fun i r -> Hashtbl.replace inner_results i r)
+    healthy
+    (Block_io.read_many t.inner healthy);
+  List.map
+    (fun idx ->
+      match Hashtbl.find_opt t.faults idx with
+      | Some (Corrupt_written g) | Some (Garbage_visible g) -> Ok (Bytes.copy g)
+      | Some Bad_unwritten | Some Bad_unfixable ->
+        Ok (garbage t t.inner.Block_io.block_size)
+      | None -> Hashtbl.find inner_results idx)
+    idxs
+
 let append t data : (int, Block_io.error) result =
   (* Probabilistic mode: the medium turns out to be damaged exactly where
      the drive is about to write — the everyday WORM failure the server's
@@ -108,10 +129,7 @@ let io t : Block_io.t =
   {
     t.inner with
     read = read t;
-    (* No native batch path: inheriting the inner device's [read_many] would
-       let batched reads bypass fault injection. The fallback loop routes
-       every block through [read] above. *)
-    read_many = None;
+    read_many = Some (read_many t);
     append = append t;
     invalidate = invalidate t;
   }

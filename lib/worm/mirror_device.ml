@@ -25,6 +25,24 @@ let read t idx : (bytes, Block_io.error) result =
       (* Neither replica has a valid copy: surface the primary's view. *)
       match primary_result with Ok b -> Ok b | Error _ as e -> e))
 
+(* Native batch path: one batched read against the primary, then the same
+   per-block validate-or-fall-back the single-read path applies — so a
+   damaged block in the middle of a run still comes back from the replica
+   (and counts a fallback), while the healthy run cost one primary seek. *)
+let read_many t idxs : (bytes, Block_io.error) result list =
+  List.map2
+    (fun idx primary_result ->
+      match primary_result with
+      | Ok b when t.validate b -> Ok b
+      | Ok _ | Error _ -> (
+        match t.replica.Block_io.read idx with
+        | Ok b ->
+          t.fallback_reads <- t.fallback_reads + 1;
+          Ok b
+        | Error _ -> primary_result))
+    idxs
+    (Block_io.read_many t.primary idxs)
+
 let append t data : (int, Block_io.error) result =
   match t.primary.Block_io.append data with
   | Error _ as e -> e
@@ -47,9 +65,7 @@ let io t : Block_io.t =
   {
     t.primary with
     read = read t;
-    (* Inheriting the primary's [read_many] would skip replica fallback on
-       damaged blocks; the loop fallback keeps every read validated. *)
-    read_many = None;
+    read_many = Some (read_many t);
     append = append t;
     invalidate = invalidate t;
     frontier = t.primary.Block_io.frontier;

@@ -62,6 +62,19 @@ let requests_roundtrip () =
             Uio.Message.Append
               { log = 9; extra_members = [ 10 ]; force = true; data = "keyed" };
         };
+      Uio.Message.Repl_frontier { epoch = 3 };
+      Uio.Message.Repl_blocks
+        {
+          epoch = 2;
+          seq_uid = 0x0102030405060708L;
+          vol_index = 1;
+          first_block = 17;
+          blocks = [ "aaaa"; ""; "cc" ];
+        };
+      Uio.Message.Repl_blocks
+        { epoch = 1; seq_uid = 1L; vol_index = 0; first_block = 0; blocks = [] };
+      Uio.Message.Repl_tail
+        { epoch = 5; seq_uid = 42L; vol_index = 2; block = 9; image = "tail image bytes" };
     ]
   in
   List.iter
@@ -104,6 +117,10 @@ let responses_roundtrip () =
           { Uio.Message.id = 9; path = "/mail/smith"; perms = 0o600; entry_count = 0 };
         ];
       Uio.Message.R_error_t Clio.Errors.No_entry;
+      Uio.Message.R_repl_frontier
+        { epoch = 4; seq_uid = 77L; vols = [ (0, 1024); (1, 17) ] };
+      Uio.Message.R_repl_frontier { epoch = 1; seq_uid = 0L; vols = [] };
+      Uio.Message.R_repl_ack { epoch = 4; vol_index = 1; next_block = 33 };
     ]
   in
   List.iter
@@ -131,6 +148,9 @@ let errors_roundtrip () =
       Clio.Errors.Degraded;
       Clio.Errors.Timeout;
       Clio.Errors.Disconnected;
+      Clio.Errors.Not_primary "primary-2";
+      Clio.Errors.Not_primary "";
+      Clio.Errors.Stale_epoch 7;
       Clio.Errors.Device Worm.Block_io.Out_of_space;
       Clio.Errors.Device Worm.Block_io.Write_once_violation;
       Clio.Errors.Device (Worm.Block_io.Unwritten 5);

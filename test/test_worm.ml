@@ -356,6 +356,40 @@ let test_timed_read_many_seeks () =
   Alcotest.(check int) "single reads seek each time" 6 (Worm.Timed_device.seeks td - seeks1);
   Alcotest.(check int) "head parks at batch end" 51 (Worm.Timed_device.head_position td)
 
+let test_faulty_read_many_native () =
+  (* The faulty wrapper now has a native batch path: healthy indices ride
+     the inner device's read_many (keeping its one-seek-per-run
+     accounting), faulted ones are overlaid from the fault table. *)
+  let clock = Sim.Clock.simulated ~tick:0L () in
+  let base = Worm.Mem_device.create ~block_size:64 ~capacity:4096 () in
+  let td = Worm.Timed_device.create ~clock ~model:Sim.Seek_model.optical (Worm.Mem_device.io base) in
+  let fd = Worm.Faulty_device.create (Worm.Timed_device.io td) in
+  let io = Worm.Faulty_device.io fd in
+  for _ = 0 to 99 do
+    ignore (io.Worm.Block_io.append (block 64 'a'))
+  done;
+  Alcotest.(check bool) "native batch path" true (io.Worm.Block_io.read_many <> None);
+  (* A healthy contiguous run is still one inner seek through the wrapper. *)
+  let seeks0 = Worm.Timed_device.seeks td in
+  (match Worm.Block_io.read_many io [ 20; 21; 22; 23 ] with
+  | rs when List.for_all Result.is_ok rs -> ()
+  | _ -> Alcotest.fail "healthy batched read failed");
+  Alcotest.(check int) "one run, one seek" 1 (Worm.Timed_device.seeks td - seeks0);
+  (* A fault mid-run is overlaid without touching the medium, and the
+     healthy remainder splits into two runs. *)
+  Worm.Faulty_device.corrupt_block fd 12;
+  let seeks1 = Worm.Timed_device.seeks td in
+  (match Worm.Block_io.read_many io [ 10; 11; 12; 13 ] with
+  | [ Ok b10; Ok b11; Ok g12; Ok b13 ] ->
+    Alcotest.(check bytes) "block 10" (block 64 'a') b10;
+    Alcotest.(check bytes) "block 11" (block 64 'a') b11;
+    Alcotest.(check bytes) "block 13" (block 64 'a') b13;
+    Alcotest.(check bool) "block 12 is the injected garbage" true (g12 <> block 64 'a');
+    Alcotest.(check bytes) "batch agrees with single read" g12
+      (Result.get_ok (io.Worm.Block_io.read 12))
+  | _ -> Alcotest.fail "faulted batched read returned unexpected shape");
+  Alcotest.(check int) "faulted index splits the run" 2 (Worm.Timed_device.seeks td - seeks1)
+
 let test_invalidated_pattern () =
   Alcotest.(check bool) "all ones" true
     (Worm.Block_io.is_invalidated_pattern (Worm.Block_io.invalidated_block 64));
@@ -397,6 +431,7 @@ let () =
           Alcotest.test_case "auto bad blocks" `Quick test_faulty_auto_bad_blocks;
           Alcotest.test_case "auto corruption" `Quick test_faulty_auto_corrupt;
           Alcotest.test_case "clear_faults heals" `Quick test_faulty_clear_faults;
+          Alcotest.test_case "native read_many" `Quick test_faulty_read_many_native;
         ] );
       ( "timed-device",
         [
